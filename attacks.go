@@ -1,0 +1,61 @@
+package secpb
+
+import (
+	"fmt"
+
+	"secpb/internal/addr"
+	"secpb/internal/recovery"
+)
+
+// Attack identifies a post-crash tampering experiment against the PM
+// image.
+type Attack = recovery.Attack
+
+// The implemented attack classes. Data, MAC and counter tampering are
+// caught by the per-block MAC; rollback of a mutually consistent
+// (data, counter, MAC) triple is caught only by the BMT and its on-chip
+// root register.
+const (
+	AttackData     = recovery.AttackData
+	AttackMAC      = recovery.AttackMAC
+	AttackCounter  = recovery.AttackCounter
+	AttackRollback = recovery.AttackRollback
+)
+
+// Attacks lists all implemented attacks.
+func Attacks() []Attack { return recovery.Attacks() }
+
+// SimulateGapCrash crashes the machine the way a persistent hierarchy
+// WITHOUT SecPB coordination would (the recoverability gap of the
+// paper's Figure 1b): buffered data reaches PM, but the counter, MAC
+// and BMT updates are lost with the volatile metadata caches. The
+// returned report is expected to be not Clean — that corruption is the
+// problem SecPB exists to solve.
+func (m *Machine) SimulateGapCrash() (CrashReport, error) {
+	if m.crashed {
+		return CrashReport{}, fmt.Errorf("secpb: machine already crashed")
+	}
+	m.crashed = true
+	rep, err := recovery.GapCrash(m.eng)
+	if err != nil {
+		return CrashReport{}, err
+	}
+	return CrashReport{
+		EntriesDrained: rep.EntriesDrained,
+		BlocksVerified: rep.BlocksChecked,
+		Clean:          rep.Clean(),
+		Detail:         rep.FirstBad,
+	}, nil
+}
+
+// AttackAndDetect crash-drains the machine cleanly, applies the attack
+// to the persisted image at the block containing byteAddr, and reports
+// whether recovery detected the tampering. A false return with nil
+// error is a security failure.
+func (m *Machine) AttackAndDetect(a Attack, byteAddr uint64) (detected bool, err error) {
+	if m.crashed {
+		return false, fmt.Errorf("secpb: machine already crashed")
+	}
+	m.crashed = true
+	return recovery.RunAttack(m.eng, a, addr.BlockOf(byteAddr))
+}

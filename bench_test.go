@@ -1,0 +1,151 @@
+// Package secpb's root benchmark suite: one testing.B benchmark per
+// table and figure of the paper's evaluation, plus micro-benchmarks of
+// the core pipeline. Each table/figure benchmark regenerates its
+// artifact on a reduced benchmark set per iteration and reports the
+// headline number as a custom metric, so `go test -bench .` doubles as
+// a smoke-run of the whole evaluation. Full-fidelity artifacts come
+// from `go run ./cmd/secpb-bench -exp all -ops 200000`.
+package secpb
+
+import (
+	"testing"
+
+	"secpb/internal/config"
+	"secpb/internal/energy"
+	"secpb/internal/engine"
+	"secpb/internal/harness"
+	"secpb/internal/workload"
+)
+
+// benchOpts uses a representative 3-benchmark subset so each iteration
+// stays in benchmark-friendly time.
+func benchOpts() harness.Options {
+	o := harness.DefaultOptions()
+	o.Ops = 20_000
+	o.Benchmarks = []string{"gamess", "povray", "mcf"}
+	return o
+}
+
+func BenchmarkTable4SchemeSlowdowns(b *testing.B) {
+	o := benchOpts()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		grid, _, err := harness.Table4(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = grid.Mean[config.SchemeCOBCM]
+	}
+	b.ReportMetric((mean-1)*100, "cobcm-overhead-%")
+}
+
+func BenchmarkFigure6PerBenchmark(b *testing.B) {
+	o := benchOpts()
+	var gamessNoGap float64
+	for i := 0; i < b.N; i++ {
+		grid, _, err := harness.Figure6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gamessNoGap = grid.Ratio["gamess"][config.SchemeNoGap]
+	}
+	b.ReportMetric(gamessNoGap, "gamess-nogap-x")
+}
+
+func BenchmarkTable5BatteryEstimates(b *testing.B) {
+	cfg := config.Default()
+	var cobcm float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := harness.Table5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cobcm = rows[0].SuperCapMM3
+	}
+	b.ReportMetric(cobcm, "cobcm-supercap-mm3")
+}
+
+func BenchmarkTable6BatteryVsSize(b *testing.B) {
+	cfg := config.Default()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	j, _ := energy.SecPBEnergy(config.SchemeCOBCM, 512, 8)
+	b.ReportMetric(energy.EstimateFor("", j).SuperCapMM3, "cobcm512-supercap-mm3")
+}
+
+func BenchmarkFigure7SizeSweep(b *testing.B) {
+	o := benchOpts()
+	o.Benchmarks = []string{"gobmk"}
+	var r512 float64
+	for i := 0; i < b.N; i++ {
+		vals, _, err := harness.Figure7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r512 = vals[512]["gobmk"]
+	}
+	b.ReportMetric(r512, "gobmk-cm512-x")
+}
+
+func BenchmarkFigure8BMTRootUpdates(b *testing.B) {
+	o := benchOpts()
+	o.Benchmarks = []string{"povray"}
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		vals, _, err := harness.Figure8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = vals["povray"]["cm-32"]
+	}
+	b.ReportMetric(frac*100, "povray-rootupd-%")
+}
+
+func BenchmarkFigure9BMFHeightStudy(b *testing.B) {
+	o := benchOpts()
+	o.Benchmarks = []string{"povray"}
+	var cmDBMF float64
+	for i := 0; i < b.N; i++ {
+		vals, _, err := harness.Figure9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmDBMF = vals["povray"]["cm_dbmf"]
+	}
+	b.ReportMetric(cmDBMF, "povray-cmdbmf-x")
+}
+
+func BenchmarkStatsReport(b *testing.B) {
+	o := benchOpts()
+	o.Benchmarks = []string{"gamess"}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.StatsReport(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks: the simulator pipeline itself.
+
+func benchEngine(b *testing.B, scheme config.Scheme) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := config.Default().WithScheme(scheme)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.RunBenchmark(cfg, prof, 10_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineBBB(b *testing.B)   { benchEngine(b, config.SchemeBBB) }
+func BenchmarkEngineCOBCM(b *testing.B) { benchEngine(b, config.SchemeCOBCM) }
+func BenchmarkEngineNoGap(b *testing.B) { benchEngine(b, config.SchemeNoGap) }
+func BenchmarkEngineSP(b *testing.B)    { benchEngine(b, config.SchemeSP) }

@@ -1,0 +1,140 @@
+// Command secpb-bench regenerates the paper's evaluation artifacts:
+// every table and figure of Section VI plus the ablation, sensitivity
+// and gap-window extension studies — as plain text (default) or JSON.
+//
+// Usage:
+//
+//	secpb-bench -exp all
+//	secpb-bench -exp table4 -ops 200000
+//	secpb-bench -exp fig6,fig9 -bench gamess,povray -v
+//	secpb-bench -exp table4,table5 -json > results.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"secpb/internal/config"
+	"secpb/internal/harness"
+)
+
+var allExperiments = []string{
+	"table4", "fig6", "table5", "table6", "fig7", "fig8", "fig9",
+	"stats", "ablation", "gaps", "sensitivity",
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiments: all or comma list of "+strings.Join(allExperiments, ","))
+		ops     = flag.Uint64("ops", 100_000, "memory operations per benchmark per configuration")
+		benches = flag.String("bench", "", "comma list of benchmarks (default: all 18)")
+		entries = flag.Int("secpb", 32, "SecPB entries for the default configuration")
+		verbose = flag.Bool("v", false, "print per-simulation progress")
+		asJSON  = flag.Bool("json", false, "emit machine-readable JSON instead of rendered text")
+	)
+	flag.Parse()
+
+	opt := harness.DefaultOptions()
+	opt.Ops = *ops
+	opt.Cfg = config.Default().WithSecPBEntries(*entries)
+	if *benches != "" {
+		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *verbose {
+		opt.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  "+msg) }
+	}
+
+	want := map[string]bool{}
+	if *exp == "all" {
+		for _, e := range allExperiments {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+
+	jsonOut := map[string]interface{}{}
+	run := func(name string, fn func() (fmt.Stringer, interface{}, error)) {
+		if !want[name] {
+			return
+		}
+		delete(want, name)
+		fmt.Fprintf(os.Stderr, "== %s (ops=%d) ==\n", name, opt.Ops)
+		art, raw, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secpb-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			if raw == nil {
+				raw = art.String()
+			}
+			jsonOut[name] = raw
+		} else {
+			fmt.Println(art)
+		}
+	}
+
+	run("table4", func() (fmt.Stringer, interface{}, error) {
+		grid, tab, err := harness.Table4(opt)
+		return tab, grid, err
+	})
+	run("fig6", func() (fmt.Stringer, interface{}, error) {
+		grid, bars, err := harness.Figure6(opt)
+		return bars, grid, err
+	})
+	run("table5", func() (fmt.Stringer, interface{}, error) {
+		rows, tab, err := harness.Table5(opt.Cfg)
+		return tab, rows, err
+	})
+	run("table6", func() (fmt.Stringer, interface{}, error) {
+		tab, err := harness.Table6(opt.Cfg)
+		return tab, nil, err
+	})
+	run("fig7", func() (fmt.Stringer, interface{}, error) {
+		vals, bars, err := harness.Figure7(opt)
+		return bars, vals, err
+	})
+	run("fig8", func() (fmt.Stringer, interface{}, error) {
+		vals, tab, err := harness.Figure8(opt)
+		return tab, vals, err
+	})
+	run("fig9", func() (fmt.Stringer, interface{}, error) {
+		vals, bars, err := harness.Figure9(opt)
+		return bars, vals, err
+	})
+	run("stats", func() (fmt.Stringer, interface{}, error) {
+		tab, err := harness.StatsReport(opt)
+		return tab, nil, err
+	})
+	run("ablation", func() (fmt.Stringer, interface{}, error) {
+		tab, err := harness.Ablation(opt)
+		return tab, nil, err
+	})
+	run("gaps", func() (fmt.Stringer, interface{}, error) {
+		tab, err := harness.GapsReport(opt)
+		return tab, nil, err
+	})
+	run("sensitivity", func() (fmt.Stringer, interface{}, error) {
+		tab, err := harness.Sensitivity(opt)
+		return tab, nil, err
+	})
+
+	for leftover := range want {
+		fmt.Fprintf(os.Stderr, "secpb-bench: unknown experiment %q\n", leftover)
+		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "secpb-bench: encoding JSON: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command secpb-sim runs a single simulation: one benchmark profile (or
+// a recorded trace file) under one persistence scheme, printing the
+// timing results and memory-system statistics.
+//
+// Usage:
+//
+//	secpb-sim -bench gamess -scheme cobcm -ops 250000
+//	secpb-sim -trace run.spb -scheme nogap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"secpb/internal/config"
+	"secpb/internal/engine"
+	"secpb/internal/trace"
+	"secpb/internal/workload"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "gcc", "benchmark profile name")
+		schemeStr = flag.String("scheme", "cobcm", "persistence scheme")
+		ops       = flag.Uint64("ops", 250_000, "memory operations to simulate")
+		entries   = flag.Int("secpb", 32, "SecPB entries")
+		tracePath = flag.String("trace", "", "replay a binary trace file instead of a synthetic benchmark")
+		seed      = flag.Uint64("seed", 0, "workload seed (0 = config default)")
+	)
+	flag.Parse()
+
+	scheme, err := config.SchemeByName(*schemeStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secpb-sim: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := config.Default().WithScheme(scheme).WithSecPBEntries(*entries)
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secpb-sim: %v\n", err)
+		os.Exit(2)
+	}
+
+	var src trace.Source
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secpb-sim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		ops, err := trace.NewReader(f).ReadAll()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secpb-sim: reading trace: %v\n", err)
+			os.Exit(1)
+		}
+		src = trace.NewSliceSource(ops)
+	} else {
+		gen, err := workload.NewGenerator(prof, cfg.Seed, *ops)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secpb-sim: %v\n", err)
+			os.Exit(1)
+		}
+		src = gen
+	}
+
+	eng, err := engine.New(cfg, prof, []byte("secpb-sim"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secpb-sim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := eng.Run(src); err != nil {
+		fmt.Fprintf(os.Stderr, "secpb-sim: simulation failed: %v\n", err)
+		os.Exit(1)
+	}
+	r := eng.Collect()
+
+	fmt.Println(r)
+	fmt.Printf("  instructions      %d\n", r.Instructions)
+	fmt.Printf("  cycles            %d\n", r.Cycles)
+	fmt.Printf("  IPC               %.3f\n", r.IPC)
+	fmt.Printf("  loads / stores    %d / %d\n", r.Loads, r.Stores)
+	fmt.Printf("  PPTI              %.1f\n", r.PPTI)
+	fmt.Printf("  NWPE              %.2f\n", r.NWPE)
+	fmt.Printf("  SecPB allocations %d\n", r.EntriesAllocated)
+	fmt.Printf("  BMT root updates  %d (early walks: %d)\n", r.BMTRootUpdates, r.EarlyBMTWalks)
+	fmt.Printf("  loads from SecPB  %d\n", r.PBServedLoads)
+	fmt.Printf("  L1 / LLC hit rate %.3f / %.3f\n", r.L1Hit, r.LLCHit)
+	fmt.Printf("  PM reads / writes %d / %d\n", r.PMReads, r.PMWrites)
+	fmt.Printf("  stall cycles      loads %d, store-buffer %d, SecPB backpressure %d\n",
+		r.LoadStall, r.SBStall, r.Backpressure)
+	if r.Reencryptions > 0 {
+		fmt.Printf("  page re-encrypts  %d\n", r.Reencryptions)
+	}
+}

@@ -1,0 +1,192 @@
+// Command secpb-trace works with memory-operation traces: generate a
+// synthetic benchmark trace, dump a binary trace as text, assemble text
+// back into binary, report statistics, or apply the relaxed-consistency
+// reordering transform.
+//
+// Usage:
+//
+//	secpb-trace gen -bench gamess -ops 100000 -o gamess.spb
+//	secpb-trace dump -i gamess.spb | head
+//	secpb-trace asm -i trace.txt -o trace.spb
+//	secpb-trace stat -i gamess.spb
+//	secpb-trace reorder -i trace.spb -o relaxed.spb -window 16
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"secpb/internal/addr"
+	"secpb/internal/trace"
+	"secpb/internal/workload"
+)
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "secpb-trace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func openIn(path string) io.ReadCloser {
+	if path == "" || path == "-" {
+		return io.NopCloser(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return f
+}
+
+func createOut(path string) io.WriteCloser {
+	if path == "" || path == "-" {
+		return os.Stdout
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return f
+}
+
+func readAll(path string) []trace.Op {
+	in := openIn(path)
+	defer in.Close()
+	ops, err := trace.NewReader(in).ReadAll()
+	if err != nil {
+		fatalf("reading %s: %v", path, err)
+	}
+	return ops
+}
+
+func writeAll(path string, ops []trace.Op) {
+	out := createOut(path)
+	w := trace.NewWriter(out)
+	for _, op := range ops {
+		if err := w.Write(op); err != nil {
+			fatalf("writing: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatalf("flushing: %v", err)
+	}
+	if f, ok := out.(*os.File); ok && f != os.Stdout {
+		if err := f.Close(); err != nil {
+			fatalf("closing: %v", err)
+		}
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fatalf("usage: secpb-trace gen|dump|asm|stat|reorder [flags]")
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "gen":
+		fs := flag.NewFlagSet("gen", flag.ExitOnError)
+		bench := fs.String("bench", "gcc", "benchmark profile")
+		ops := fs.Uint64("ops", 100_000, "operations to generate")
+		seed := fs.Uint64("seed", 1, "workload seed")
+		out := fs.String("o", "-", "output file (binary trace)")
+		fs.Parse(args)
+		prof, err := workload.ByName(*bench)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		all, err := workload.Generate(prof, *seed, int(*ops))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		writeAll(*out, all)
+		fmt.Fprintf(os.Stderr, "wrote %d ops\n", len(all))
+
+	case "dump":
+		fs := flag.NewFlagSet("dump", flag.ExitOnError)
+		in := fs.String("i", "-", "input binary trace")
+		limit := fs.Int("n", 0, "dump at most n ops (0 = all)")
+		fs.Parse(args)
+		ops := readAll(*in)
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		for i, op := range ops {
+			if *limit > 0 && i >= *limit {
+				break
+			}
+			fmt.Fprintln(w, trace.FormatText(op))
+		}
+
+	case "asm":
+		fs := flag.NewFlagSet("asm", flag.ExitOnError)
+		in := fs.String("i", "-", "input text trace")
+		out := fs.String("o", "-", "output binary trace")
+		fs.Parse(args)
+		src := openIn(*in)
+		defer src.Close()
+		var ops []trace.Op
+		sc := bufio.NewScanner(src)
+		line := 0
+		for sc.Scan() {
+			line++
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			op, err := trace.ParseText(sc.Text())
+			if err != nil {
+				fatalf("line %d: %v", line, err)
+			}
+			ops = append(ops, op)
+		}
+		if err := sc.Err(); err != nil {
+			fatalf("%v", err)
+		}
+		writeAll(*out, ops)
+		fmt.Fprintf(os.Stderr, "assembled %d ops\n", len(ops))
+
+	case "stat":
+		fs := flag.NewFlagSet("stat", flag.ExitOnError)
+		in := fs.String("i", "-", "input binary trace")
+		fs.Parse(args)
+		ops := readAll(*in)
+		var loads, stores, fences, instrs uint64
+		blocks := map[addr.Block]uint64{}
+		for _, op := range ops {
+			instrs += op.Instructions()
+			switch op.Kind {
+			case trace.Load:
+				loads++
+			case trace.Store:
+				stores++
+				blocks[addr.BlockOf(op.Addr)]++
+			case trace.Fence:
+				fences++
+			}
+		}
+		fmt.Printf("ops          %d\n", len(ops))
+		fmt.Printf("instructions %d\n", instrs)
+		fmt.Printf("loads        %d\n", loads)
+		fmt.Printf("stores       %d\n", stores)
+		fmt.Printf("fences       %d\n", fences)
+		if instrs > 0 {
+			fmt.Printf("PPTI         %.1f\n", float64(stores)/float64(instrs)*1000)
+		}
+		fmt.Printf("store blocks %d\n", len(blocks))
+		if len(blocks) > 0 {
+			fmt.Printf("stores/block %.2f\n", float64(stores)/float64(len(blocks)))
+		}
+
+	case "reorder":
+		fs := flag.NewFlagSet("reorder", flag.ExitOnError)
+		in := fs.String("i", "-", "input binary trace")
+		out := fs.String("o", "-", "output binary trace")
+		window := fs.Int("window", 16, "reorder window (stores)")
+		seed := fs.Uint64("seed", 1, "reorder seed")
+		fs.Parse(args)
+		writeAll(*out, trace.Reorder(readAll(*in), *window, *seed))
+
+	default:
+		fatalf("unknown subcommand %q", cmd)
+	}
+}

@@ -1,0 +1,30 @@
+// Package secpb is the public API of the SecPB reproduction — a
+// complete model of secure persistent memory with battery-backed
+// persist buffers (Freij, Zhou, Solihin: "SecPB: Architectures for
+// Secure Non-Volatile Memory with Battery-Backed Persist Buffers",
+// HPCA 2023).
+//
+// The package offers three levels of entry:
+//
+//   - Machine: an interactive simulated system. Issue stores and loads,
+//     crash it at any point, and recover the encrypted,
+//     integrity-protected PM image. Every store is persistent the
+//     moment it is accepted (persistent hierarchy + strict
+//     persistency), so crash-consistent data structures need no flushes
+//     or fences — see examples/kvstore.
+//
+//   - RunBenchmark: batch simulation of one of the 18 built-in
+//     SPEC2006-like workload profiles under any persistence scheme,
+//     returning timing results (cycles, IPC, PPTI, NWPE, stalls).
+//
+//   - Experiments: the full evaluation harness regenerating the paper's
+//     tables and figures lives in internal/harness behind the
+//     cmd/secpb-bench binary; battery sizing is exposed here via
+//     BatteryFor.
+//
+// The six persistence schemes span the paper's design spectrum from
+// fully eager (NoGap: the whole memory tuple — ciphertext, counter,
+// MAC, BMT root — is generated as each store persists) to fully lazy
+// (COBCM: everything is deferred to drain time or, after a crash, to
+// the battery). Lazier schemes run faster and need bigger batteries.
+package secpb

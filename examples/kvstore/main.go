@@ -1,0 +1,128 @@
+// kvstore: a crash-consistent key-value log on simulated secure
+// persistent memory, written against the public secpb API.
+//
+// The point of this example is the paper's programmability argument:
+// with a persistent hierarchy (SecPB), every store is persistent the
+// moment it returns, in program order — no clflush/clwb, no fences, no
+// commit records. The KV store below appends records to a log and then
+// bumps a head counter; crash consistency falls out of strict
+// persistency alone. After a simulated power loss we recover the log
+// from the (encrypted, integrity-protected) PM image and check that
+// exactly the committed prefix survives.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"secpb"
+)
+
+const (
+	headAddr = uint64(0x1000_0000)        // block 0: log head counter
+	logBase  = headAddr + secpb.BlockSize // records start here
+	// Each record is one 64B block: key (8B), value (48B), seq (8B).
+	recordSize = uint64(secpb.BlockSize)
+)
+
+// kv wraps the machine with the log protocol.
+type kv struct {
+	m    *secpb.Machine
+	head uint64 // committed record count
+}
+
+// Put appends a record and commits it by bumping the head. Note the
+// total absence of flushes: program order IS persist order.
+func (s *kv) Put(key uint64, value []byte) error {
+	if len(value) > 48 {
+		return fmt.Errorf("value too large")
+	}
+	rec := logBase + s.head*recordSize
+	if err := s.m.Store(rec, 8, key); err != nil {
+		return err
+	}
+	var buf [48]byte
+	copy(buf[:], value)
+	for i := 0; i < 48; i += 8 {
+		if err := s.m.Store(rec+8+uint64(i), 8, binary.LittleEndian.Uint64(buf[i:])); err != nil {
+			return err
+		}
+	}
+	if err := s.m.Store(rec+56, 8, s.head+1); err != nil { // seq stamp
+		return err
+	}
+	// Commit: advance the head pointer. Strict persistency guarantees
+	// the record persisted before this store.
+	s.head++
+	return s.m.Store(headAddr, 8, s.head)
+}
+
+// recoverLog rebuilds the committed records from the post-crash PM
+// image; every block read is decrypted and integrity-verified by the
+// machine.
+func recoverLog(m *secpb.Machine) (head uint64, records map[uint64][]byte, err error) {
+	headBlock, err := m.ReadRecovered(headAddr)
+	if err != nil {
+		return 0, nil, fmt.Errorf("head block failed verification: %w", err)
+	}
+	head = binary.LittleEndian.Uint64(headBlock[:8])
+	records = make(map[uint64][]byte, head)
+	for i := uint64(0); i < head; i++ {
+		blk, err := m.ReadRecovered(logBase + i*recordSize)
+		if err != nil {
+			return head, records, fmt.Errorf("record %d failed verification: %w", i, err)
+		}
+		seq := binary.LittleEndian.Uint64(blk[56:])
+		if seq != i+1 {
+			return head, records, fmt.Errorf("record %d has seq %d: committed prefix broken", i, seq)
+		}
+		key := binary.LittleEndian.Uint64(blk[:8])
+		val := make([]byte, 48)
+		copy(val, blk[8:56])
+		records[key] = val
+	}
+	return head, records, nil
+}
+
+func main() {
+	m, err := secpb.NewMachine(secpb.DefaultConfig(), []byte("kvstore key"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := &kv{m: m}
+
+	fmt.Println("inserting 500 records over simulated secure PM (no flushes, no fences)...")
+	for i := uint64(0); i < 500; i++ {
+		if err := store.Put(i, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("done at cycle %d; %d SecPB entries pending; committed head = %d\n",
+		m.Cycles(), m.PendingEntries(), store.head)
+
+	// Power loss. The battery drains the SecPB, completing all memory
+	// tuples; the PM image becomes crash consistent.
+	rep, err := m.Crash()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crash: drained %d entries in %d battery cycles, verified %d blocks, clean=%v\n",
+		rep.EntriesDrained, rep.BatteryCycles, rep.BlocksVerified, rep.Clean)
+
+	head, records, err := recoverLog(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered head = %d, records = %d\n", head, len(records))
+	for _, probe := range []uint64{0, 250, 499} {
+		got, ok := records[probe]
+		want := fmt.Sprintf("value-%d", probe)
+		if !ok || string(got[:len(want)]) != want {
+			log.Fatalf("record %d corrupt after recovery", probe)
+		}
+	}
+	fmt.Println("spot checks passed: every committed record decrypted and verified")
+}

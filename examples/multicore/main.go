@@ -1,0 +1,80 @@
+// multicore: the Section IV.C coherence protocol between per-core
+// SecPBs — entry migration on remote writes, flush-to-PM on remote
+// reads, no replication ever — followed by a whole-system crash where
+// the battery drains every core's buffer and the shared PM image
+// recovers exactly.
+//
+//	go run ./examples/multicore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secpb/internal/addr"
+	"secpb/internal/coherence"
+	"secpb/internal/config"
+	"secpb/internal/xrand"
+)
+
+func main() {
+	const cores = 4
+	sys, err := coherence.New(config.Default().WithScheme(config.SchemeCM), cores, []byte("multicore"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A producer/consumer pattern: core 0 fills a record, core 1 reads
+	// it, core 2 takes over writing.
+	rec := uint64(0x1000_0000)
+	fmt.Println("== producer/consumer handoff ==")
+	if err := sys.Store(0, rec, 8, 0xFEED); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("core 0 stored; entry in SecPB 0: %v\n", sys.SecPB(0).Lookup(addr.BlockOf(rec)) != nil)
+
+	v, err := sys.Load(1, rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("core 1 read %#x; entry flushed to PM (SecPB 0 now holds it: %v)\n",
+		uint64(v[0])|uint64(v[1])<<8, sys.SecPB(0).Lookup(addr.BlockOf(rec)) != nil)
+
+	if err := sys.Store(2, rec+8, 8, 0xBEEF); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("core 2 wrote; entry now owned by SecPB 2: %v\n",
+		sys.SecPB(2).Lookup(addr.BlockOf(rec)) != nil)
+
+	// Random sharing storm across all cores.
+	fmt.Println("\n== 4-core sharing storm (6000 ops over 32 shared blocks) ==")
+	r := xrand.New(2026)
+	for i := 0; i < 6000; i++ {
+		c := r.Intn(cores)
+		a := 0x2000_0000 + uint64(r.Intn(32))*64 + uint64(r.Intn(8))*8
+		if r.Bool(0.6) {
+			if err := sys.Store(c, a, 8, r.Uint64()); err != nil {
+				log.Fatal(err)
+			}
+		} else if _, err := sys.Load(c, a); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		log.Fatalf("coherence invariant broken: %v", err)
+	}
+	migs, flushes := sys.Stats()
+	fmt.Printf("migrations: %d, read-triggered flushes: %d — invariants hold (no replication)\n", migs, flushes)
+
+	// Whole-system power loss.
+	fmt.Println("\n== power loss: battery drains every core's SecPB ==")
+	n, err := sys.CrashDrainAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.VerifyRecovery(); err != nil {
+		log.Fatalf("recovery failed: %v", err)
+	}
+	fmt.Printf("drained %d entries across %d cores; every block decrypted and verified against the coherent view\n",
+		n, cores)
+}

@@ -1,0 +1,62 @@
+// sweep: explore the performance / battery trade-off space the paper's
+// Section VI discusses — every scheme at several SecPB sizes for one
+// benchmark, annotated with the battery each point requires.
+//
+//	go run ./examples/sweep [-bench gamess] [-ops 60000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"secpb/internal/config"
+	"secpb/internal/energy"
+	"secpb/internal/engine"
+	"secpb/internal/stats"
+	"secpb/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gamess", "benchmark profile")
+	ops := flag.Uint64("ops", 60_000, "operations per design point")
+	flag.Parse()
+
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes := []int{8, 32, 128}
+
+	tab := stats.NewTable(
+		fmt.Sprintf("Design space for %s: slowdown vs battery (SuperCap)", *bench),
+		"Scheme", "Size", "Slowdown", "Battery mm3", "Core area")
+	for _, n := range sizes {
+		base, err := engine.RunBenchmark(config.Default().WithScheme(config.SchemeBBB).WithSecPBEntries(n), prof, *ops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, scheme := range config.SecPBSchemes() {
+			res, err := engine.RunBenchmark(config.Default().WithScheme(scheme).WithSecPBEntries(n), prof, *ops)
+			if err != nil {
+				log.Fatal(err)
+			}
+			j, err := energy.SecPBEnergy(scheme, n, config.Default().BMTLevels)
+			if err != nil {
+				log.Fatal(err)
+			}
+			est := energy.EstimateFor(scheme.String(), j)
+			tab.AddRowStrings(
+				scheme.String(),
+				fmt.Sprintf("%d", n),
+				stats.Percent(float64(res.Cycles)/float64(base.Cycles)),
+				fmt.Sprintf("%.2f", est.SuperCapMM3),
+				fmt.Sprintf("%.1f%%", est.SuperCapPct),
+			)
+		}
+	}
+	fmt.Println(tab)
+	fmt.Println("Reading the frontier: COBCM minimizes slowdown but needs the biggest")
+	fmt.Println("battery; NoGap minimizes the battery but pays the full metadata")
+	fmt.Println("latency on every store. CM is the paper's budget-conscious pick.")
+}

@@ -1,0 +1,3 @@
+module secpb
+
+go 1.22

@@ -1,0 +1,129 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"secpb/internal/config"
+	"secpb/internal/engine"
+	"secpb/internal/workload"
+)
+
+func TestPaperFormulaReproducesSectionVIB(t *testing.T) {
+	// The paper: gamess, PPTI 47.4, NWPE 2.1, 8-level BMT at 40 cycles,
+	// MAC 40 cycles -> estimated IPC 0.11.
+	m := New(config.Default())
+	ipc, err := m.PaperNoGapIPC(Inputs{PPTI: 47.4, NWPE: 2.1, BaseCPI: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ipc-0.11) > 0.005 {
+		t.Errorf("paper formula IPC = %.3f, want 0.11", ipc)
+	}
+}
+
+func TestAcceptCyclesOrdering(t *testing.T) {
+	// Eager schemes must consume strictly more acceptance cycles.
+	m := New(config.Default())
+	in := Inputs{PPTI: 30, NWPE: 6, BaseCPI: 0.6}
+	order := []config.Scheme{
+		config.SchemeCOBCM, config.SchemeOBCM, config.SchemeBCM,
+		config.SchemeCM, config.SchemeM, config.SchemeNoGap,
+	}
+	prev := -1.0
+	for _, s := range order {
+		c, err := m.AcceptCyclesPerKilo(s, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= prev {
+			t.Errorf("%v acceptance %.0f not above predecessor %.0f", s, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestModelBoundsSimulator(t *testing.T) {
+	// Cross-validation (the paper's own methodology, VI.B): for each
+	// scheme, the simulated slowdown must lie between the perfect-
+	// overlap (overlap=0) and fully-serial (overlap=1) model envelopes,
+	// within a modelling margin.
+	prof, err := workload.ByName("gamess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops = 60000
+	base, err := engine.RunBenchmark(config.Default().WithScheme(config.SchemeBBB), prof, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(config.Default())
+	for _, s := range []config.Scheme{config.SchemeCM, config.SchemeNoGap, config.SchemeBCM} {
+		res, err := engine.RunBenchmark(config.Default().WithScheme(s), prof, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := float64(res.Cycles) / float64(base.Cycles)
+		in := Inputs{
+			PPTI:    res.PPTI,
+			NWPE:    res.NWPE,
+			BaseCPI: 1 / base.IPC,
+		}
+		lower, err := m.Slowdown(s, in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		upper, err := m.Slowdown(s, in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const margin = 0.25
+		if measured < lower*(1-margin) || measured > upper*(1+margin) {
+			t.Errorf("%v: simulated %.2fx outside model envelope [%.2f, %.2f]",
+				s, measured, lower, upper)
+		}
+	}
+}
+
+func TestCOBCMModelNearBaseline(t *testing.T) {
+	m := New(config.Default())
+	in := Inputs{PPTI: 25, NWPE: 8, BaseCPI: 0.7}
+	slow, err := m.Slowdown(config.SchemeCOBCM, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow != 1.0 {
+		t.Errorf("COBCM perfect-overlap slowdown = %.3f, want 1.0 (port cost hidden)", slow)
+	}
+}
+
+func TestBMFHeightEntersModel(t *testing.T) {
+	cfg := config.Default()
+	full := New(cfg)
+	cfg.BMFMode = config.BMFDynamic
+	dbmf := New(cfg)
+	in := Inputs{PPTI: 30, NWPE: 4, BaseCPI: 0.6}
+	cFull, _ := full.AcceptCyclesPerKilo(config.SchemeCM, in)
+	cDBMF, _ := dbmf.AcceptCyclesPerKilo(config.SchemeCM, in)
+	if cDBMF >= cFull {
+		t.Errorf("DBMF acceptance %.0f not below full-height %.0f", cDBMF, cFull)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	m := New(config.Default())
+	bad := []Inputs{
+		{PPTI: 0, NWPE: 1, BaseCPI: 1},
+		{PPTI: 1, NWPE: 0, BaseCPI: 1},
+		{PPTI: 1, NWPE: 1, BaseCPI: 0},
+		{PPTI: 1, NWPE: 1, BaseCPI: 1, CtrMissPK: -1},
+	}
+	for i, in := range bad {
+		if _, err := m.AcceptCyclesPerKilo(config.SchemeCM, in); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if _, err := m.PaperNoGapIPC(in); err == nil {
+			t.Errorf("case %d accepted by paper formula", i)
+		}
+	}
+}

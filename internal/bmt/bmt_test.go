@@ -1,0 +1,282 @@
+package bmt
+
+import (
+	"testing"
+
+	"secpb/internal/config"
+	"secpb/internal/crypto"
+	"secpb/internal/meta"
+)
+
+func newTestTree(t *testing.T, height int) (*Tree, *crypto.Engine) {
+	t.Helper()
+	e, err := crypto.NewEngine([]byte("bmt test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(e, height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, e
+}
+
+func lineBytes(major uint64, minors ...uint8) []byte {
+	cl := &meta.CounterLine{Major: major}
+	copy(cl.Minors[:], minors)
+	return cl.Bytes()
+}
+
+func TestNewRejectsBadHeight(t *testing.T) {
+	e, _ := crypto.NewEngine([]byte("k"))
+	for _, h := range []int{0, -1, 25} {
+		if _, err := New(e, h); err == nil {
+			t.Errorf("height %d accepted", h)
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	tr, _ := newTestTree(t, 4)
+	if tr.Capacity() != 8*8*8*8 {
+		t.Errorf("capacity = %d, want 4096", tr.Capacity())
+	}
+	if tr.Height() != 4 {
+		t.Errorf("height = %d", tr.Height())
+	}
+}
+
+func TestUpdateChangesRoot(t *testing.T) {
+	tr, _ := newTestTree(t, 4)
+	r0 := tr.Root()
+	n := tr.Update(5, lineBytes(0, 1))
+	if n != 4 {
+		t.Errorf("Update hashed %d levels, want 4", n)
+	}
+	if tr.Root() == r0 {
+		t.Error("root unchanged after update")
+	}
+	if tr.Updates() != 1 {
+		t.Errorf("Updates = %d", tr.Updates())
+	}
+}
+
+func TestVerifyAfterUpdate(t *testing.T) {
+	tr, _ := newTestTree(t, 4)
+	line := lineBytes(0, 1, 2, 3)
+	tr.Update(17, line)
+	if err := tr.Verify(17, line); err != nil {
+		t.Fatalf("verify of fresh update failed: %v", err)
+	}
+}
+
+func TestVerifyManyPages(t *testing.T) {
+	tr, _ := newTestTree(t, 5)
+	lines := map[uint64][]byte{}
+	for p := uint64(0); p < 200; p += 7 {
+		l := lineBytes(p, uint8(p), uint8(p+1))
+		tr.Update(p, l)
+		lines[p] = l
+	}
+	for p, l := range lines {
+		if err := tr.Verify(p, l); err != nil {
+			t.Fatalf("page %d: %v", p, err)
+		}
+	}
+}
+
+func TestRollbackDetected(t *testing.T) {
+	// Replay attack: present an older counter line with its (then
+	// valid) value. The tree must reject it because the leaf has moved.
+	tr, _ := newTestTree(t, 4)
+	oldLine := lineBytes(0, 1)
+	newLine := lineBytes(0, 2)
+	tr.Update(9, oldLine)
+	tr.Update(9, newLine)
+	if err := tr.Verify(9, oldLine); err == nil {
+		t.Fatal("rolled-back counter line accepted")
+	}
+	if err := tr.Verify(9, newLine); err != nil {
+		t.Fatalf("current line rejected: %v", err)
+	}
+}
+
+func TestNodeTamperDetected(t *testing.T) {
+	tr, _ := newTestTree(t, 4)
+	line := lineBytes(1, 5)
+	tr.Update(3, line)
+	var evil Digest
+	evil[0] = 0xFF
+	// Tamper each materialized level on the path; every one must break
+	// verification.
+	for level := 0; level < tr.Height(); level++ {
+		snap := tr.Snapshot()
+		idx := uint64(3)
+		for l := 0; l < level; l++ {
+			idx /= Arity
+		}
+		if err := snap.Tamper(level, idx, evil); err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if err := snap.Verify(3, line); err == nil {
+			t.Errorf("tamper at level %d undetected", level)
+		}
+	}
+}
+
+func TestConsistentPathTamperDetectedByRoot(t *testing.T) {
+	// An attacker who rewrites the leaf AND recomputes every ancestor
+	// consistently still fails: the root register is on-chip.
+	tr, e := newTestTree(t, 3)
+	tr.Update(2, lineBytes(0, 1))
+	forged := lineBytes(0, 9)
+	// Build a fully consistent forged tree, then restore the real root
+	// register (the attacker cannot touch it).
+	forgedTree := tr.Snapshot()
+	forgedTree.Update(2, forged)
+	realRoot := tr.Root()
+	forgedTree.root = realRoot
+	if err := forgedTree.Verify(2, forged); err == nil {
+		t.Fatal("consistent path forgery accepted despite root register")
+	}
+	_ = e
+}
+
+func TestTamperErrors(t *testing.T) {
+	tr, _ := newTestTree(t, 3)
+	var h Digest
+	if err := tr.Tamper(9, 0, h); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+	if err := tr.Tamper(0, 5, h); err == nil {
+		t.Error("unmaterialized node accepted")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	tr, _ := newTestTree(t, 4)
+	line1 := lineBytes(0, 1)
+	tr.Update(1, line1)
+	snap := tr.Snapshot()
+	line2 := lineBytes(0, 2)
+	tr.Update(1, line2)
+	if err := snap.Verify(1, line1); err != nil {
+		t.Errorf("snapshot lost state: %v", err)
+	}
+	if err := snap.Verify(1, line2); err == nil {
+		t.Error("snapshot sees post-snapshot update")
+	}
+}
+
+func TestPathNodeIDs(t *testing.T) {
+	tr, _ := newTestTree(t, 4)
+	ids := tr.PathNodeIDs(100)
+	if len(ids) != 4 {
+		t.Fatalf("path length = %d", len(ids))
+	}
+	seen := map[uint64]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Error("duplicate node id on path")
+		}
+		seen[id] = true
+	}
+	// Sibling pages (same parent) share all but the leaf ID.
+	a := tr.PathNodeIDs(0)
+	b := tr.PathNodeIDs(1)
+	if a[0] == b[0] {
+		t.Error("distinct leaves share leaf id")
+	}
+	if a[1] != b[1] {
+		t.Error("sibling leaves do not share parent id")
+	}
+}
+
+func TestDistantPagesShareRootChild(t *testing.T) {
+	tr, _ := newTestTree(t, 3)
+	// Pages 0 and 63 are within the same 64-leaf subtree at level 2.
+	a := tr.PathNodeIDs(0)
+	b := tr.PathNodeIDs(63)
+	if a[2] != b[2] {
+		t.Error("pages 0 and 63 should share the level-2 ancestor in an arity-8 tree")
+	}
+}
+
+func TestNodesMaterializedGrows(t *testing.T) {
+	tr, _ := newTestTree(t, 4)
+	if tr.NodesMaterialized() != 0 {
+		t.Fatal("fresh tree has materialized nodes")
+	}
+	tr.Update(0, lineBytes(0, 1))
+	if got := tr.NodesMaterialized(); got != 4 {
+		t.Errorf("after one update materialized = %d, want 4", got)
+	}
+}
+
+func TestHeightModelNone(t *testing.T) {
+	cfg := config.Default()
+	m := NewHeightModel(cfg)
+	if m.WalkLevels(0) != 8 || m.WalkLevels(12345) != 8 {
+		t.Error("full BMT walk must be 8 levels")
+	}
+	if h, ms := m.Stats(); h != 0 || ms != 0 {
+		t.Error("BMFNone should not touch the root cache")
+	}
+}
+
+func TestHeightModelDBMF(t *testing.T) {
+	cfg := config.Default()
+	cfg.BMFMode = config.BMFDynamic
+	m := NewHeightModel(cfg)
+	// First touch of a subtree: full height (root swap-in).
+	if got := m.WalkLevels(0); got != 8 {
+		t.Errorf("cold DBMF walk = %d, want 8", got)
+	}
+	// Same subtree again: reduced height.
+	if got := m.WalkLevels(1); got != 2 {
+		t.Errorf("warm DBMF walk = %d, want 2", got)
+	}
+	hits, misses := m.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestHeightModelSBMFCoverage(t *testing.T) {
+	cfg := config.Default()
+	cfg.BMFMode = config.BMFStatic
+	m := NewHeightModel(cfg)
+	m.WalkLevels(0)
+	// SBMF height 5 covers 8^5 = 32768 pages per subtree root.
+	if got := m.WalkLevels(32767); got != 5 {
+		t.Errorf("same-subtree walk = %d, want 5", got)
+	}
+	if got := m.WalkLevels(32768); got != 8 {
+		t.Errorf("new-subtree walk = %d, want 8", got)
+	}
+}
+
+func BenchmarkTreeUpdate(b *testing.B) {
+	e, _ := crypto.NewEngine([]byte("bench"))
+	tr, _ := New(e, 8)
+	line := lineBytes(1, 2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Update(uint64(i%4096), line)
+	}
+}
+
+func BenchmarkTreeVerify(b *testing.B) {
+	e, _ := crypto.NewEngine([]byte("bench"))
+	tr, _ := New(e, 8)
+	line := lineBytes(1, 2, 3)
+	for i := 0; i < 4096; i++ {
+		tr.Update(uint64(i), line)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Verify(uint64(i%4096), line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package coherence implements the multi-core SecPB protocol of Section
+// IV.C: each core owns a private SecPB, a directory tracks which SecPB
+// (if any) holds each block, and the two coherence situations the paper
+// identifies are handled without ever replicating a block or its
+// metadata across SecPBs:
+//
+//   - A remote READ flushes the owner's entry to PM (persisting data and
+//     metadata) while the data is forwarded to the reader — the entry
+//     leaves the persist-buffer domain and the line becomes shared.
+//   - A remote WRITE migrates the entry to the requesting core's SecPB.
+//     The data-value-independent metadata (counter, OTP, BMT-done)
+//     travels with it, so the requester regenerates only the ciphertext
+//     and MAC its scheme computes eagerly.
+//
+// The protocol here is functional: it maintains and checks the
+// no-replication invariant and produces crash-consistent state for the
+// recovery machinery; multi-core timing is out of scope (the paper's
+// evaluation is single-core too).
+package coherence
+
+import (
+	"errors"
+	"fmt"
+
+	"secpb/internal/addr"
+	"secpb/internal/config"
+	"secpb/internal/core"
+	"secpb/internal/nvm"
+	"secpb/internal/pb"
+)
+
+// System is a set of cores sharing one memory controller and PM.
+type System struct {
+	cfg   config.Config
+	mc    *nvm.Controller
+	cores []*core.SecPB
+	// owner maps a block to the core whose SecPB holds it; absent means
+	// no SecPB holds the block.
+	owner map[addr.Block]int
+
+	// memory is the coherent program view across all cores (stores are
+	// globally visible at the PoV, which coincides with the PoP).
+	memory map[addr.Block][addr.BlockBytes]byte
+
+	migrations  uint64
+	readFlushes uint64
+}
+
+// New builds a system with n cores.
+func New(cfg config.Config, n int, key []byte) (*System, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("coherence: need at least one core, got %d", n)
+	}
+	if cfg.Scheme == config.SchemeSP {
+		return nil, errors.New("coherence: SP baseline has no persist buffers")
+	}
+	mc, err := nvm.NewController(cfg, key)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:    cfg,
+		mc:     mc,
+		owner:  make(map[addr.Block]int),
+		memory: make(map[addr.Block][addr.BlockBytes]byte),
+	}
+	for i := 0; i < n; i++ {
+		spb, err := core.New(cfg, mc)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, spb)
+	}
+	return s, nil
+}
+
+// Cores returns the number of cores.
+func (s *System) Cores() int { return len(s.cores) }
+
+// Controller returns the shared memory controller.
+func (s *System) Controller() *nvm.Controller { return s.mc }
+
+// SecPB returns core i's persist buffer.
+func (s *System) SecPB(i int) *core.SecPB { return s.cores[i] }
+
+// Memory returns the coherent program view.
+func (s *System) Memory() map[addr.Block][addr.BlockBytes]byte { return s.memory }
+
+// Stats returns (entry migrations, read-triggered flushes).
+func (s *System) Stats() (migrations, readFlushes uint64) {
+	return s.migrations, s.readFlushes
+}
+
+// checkCore validates a core id.
+func (s *System) checkCore(id int) error {
+	if id < 0 || id >= len(s.cores) {
+		return fmt.Errorf("coherence: core %d out of range [0,%d)", id, len(s.cores))
+	}
+	return nil
+}
+
+// makeRoom drains the oldest entry of core id until an allocation fits.
+func (s *System) makeRoom(id int) error {
+	for s.cores[id].Full() {
+		e, _, err := s.cores[id].DrainOne()
+		if err != nil {
+			return err
+		}
+		if e == nil {
+			return errors.New("coherence: full SecPB with nothing to drain")
+		}
+		delete(s.owner, e.Block)
+	}
+	return nil
+}
+
+// Store performs a write by core id: the two-situation protocol above,
+// then normal SecPB acceptance.
+func (s *System) Store(id int, byteAddr uint64, size int, val uint64) error {
+	if err := s.checkCore(id); err != nil {
+		return err
+	}
+	block := addr.BlockOf(byteAddr)
+	off := int(byteAddr - block.Addr())
+
+	if owner, ok := s.owner[block]; ok && owner != id {
+		// Remote write: migrate the entry, keeping data-value-
+		// independent metadata.
+		entry := s.cores[owner].RemoveForMigration(block)
+		if entry == nil {
+			return fmt.Errorf("coherence: directory says core %d owns %#x but entry missing", owner, block.Addr())
+		}
+		if err := s.makeRoom(id); err != nil {
+			return err
+		}
+		if err := s.cores[id].AdoptMigrated(entry); err != nil {
+			return fmt.Errorf("coherence: adopting migrated entry: %w", err)
+		}
+		s.owner[block] = id
+		s.migrations++
+	}
+
+	// Update the coherent view (PoV == PoP under persistent hierarchy).
+	cur := s.memory[block]
+	for i := 0; i < size; i++ {
+		cur[off+i] = byte(val >> (8 * i))
+	}
+	s.memory[block] = cur
+
+	if _, ok := s.owner[block]; !ok {
+		if err := s.makeRoom(id); err != nil {
+			return err
+		}
+	}
+	snapshot := cur
+	_, err := s.cores[id].AcceptStore(block, off, size, val, func() [addr.BlockBytes]byte { return snapshot })
+	if errors.Is(err, pb.ErrFull) {
+		if err := s.makeRoom(id); err != nil {
+			return err
+		}
+		_, err = s.cores[id].AcceptStore(block, off, size, val, func() [addr.BlockBytes]byte { return snapshot })
+	}
+	if err != nil {
+		return err
+	}
+	s.owner[block] = id
+	return nil
+}
+
+// Load performs a read by core id. If another core's SecPB owns the
+// block, the owner's entry is flushed to PM (data and metadata persist)
+// in parallel with forwarding the data, and the block leaves the
+// persist-buffer domain (shared state).
+func (s *System) Load(id int, byteAddr uint64) ([addr.BlockBytes]byte, error) {
+	if err := s.checkCore(id); err != nil {
+		return [addr.BlockBytes]byte{}, err
+	}
+	block := addr.BlockOf(byteAddr)
+	if owner, ok := s.owner[block]; ok && owner != id {
+		found, _, err := s.cores[owner].FlushBlock(block)
+		if err != nil {
+			return [addr.BlockBytes]byte{}, err
+		}
+		if !found {
+			return [addr.BlockBytes]byte{}, fmt.Errorf("coherence: stale directory entry for %#x", block.Addr())
+		}
+		delete(s.owner, block)
+		s.readFlushes++
+	}
+	// Reads are served from the coherent view; if the block is in no
+	// SecPB it is (or will be) in PM/caches.
+	if v, ok := s.memory[block]; ok {
+		return v, nil
+	}
+	// Never written: fetch from PM (zeros on fresh media).
+	v, _, err := s.mc.FetchBlock(block)
+	return v, err
+}
+
+// CheckInvariants verifies the protocol's structural invariants: every
+// directory entry points at a core actually holding the block, no block
+// is resident in two SecPBs, and every resident block has a directory
+// entry.
+func (s *System) CheckInvariants() error {
+	for block, owner := range s.owner {
+		if err := s.checkCore(owner); err != nil {
+			return err
+		}
+		if s.cores[owner].Lookup(block) == nil {
+			return fmt.Errorf("coherence: directory points core %d at %#x but entry absent", owner, block.Addr())
+		}
+	}
+	seen := map[addr.Block]int{}
+	for id := range s.cores {
+		for block := range s.memory {
+			if s.cores[id].Lookup(block) != nil {
+				if prev, dup := seen[block]; dup {
+					return fmt.Errorf("coherence: block %#x replicated in SecPBs %d and %d", block.Addr(), prev, id)
+				}
+				seen[block] = id
+				if s.owner[block] != id {
+					return fmt.Errorf("coherence: block %#x resident in core %d but directory says %d", block.Addr(), id, s.owner[block])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CrashDrainAll drains every core's SecPB (the battery backs them all)
+// and returns the total entries drained.
+func (s *System) CrashDrainAll() (int, error) {
+	total := 0
+	for id, c := range s.cores {
+		n, _, err := c.CrashDrain()
+		if err != nil {
+			return total, fmt.Errorf("coherence: core %d crash drain: %w", id, err)
+		}
+		total += n
+	}
+	s.owner = make(map[addr.Block]int)
+	return total, nil
+}
+
+// VerifyRecovery fetches every written block from PM after a crash
+// drain and compares it with the coherent view.
+func (s *System) VerifyRecovery() error {
+	for block, want := range s.memory {
+		got, _, err := s.mc.FetchBlock(block)
+		if err != nil {
+			return fmt.Errorf("coherence: block %#x: %w", block.Addr(), err)
+		}
+		if got != want {
+			return fmt.Errorf("coherence: block %#x: plaintext mismatch after recovery", block.Addr())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+// Package crypto implements the cryptographic primitives SecPB's memory
+// controller uses: AES (counter-mode one-time pads for data encryption)
+// and SHA-512 (BMT node hashes and block MACs).
+//
+// The implementations are written from scratch so the repository is a
+// self-contained model of the hardware crypto engine; tests validate them
+// against the Go standard library and FIPS vectors. They are table-based
+// and NOT constant time — they model a hardware engine inside a simulator
+// and must never be used to protect real data.
+package crypto
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+var (
+	sbox    [256]byte
+	invSbox [256]byte
+	// Round-constant words for key expansion.
+	rcon = [11]byte{0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36}
+)
+
+func init() {
+	// Generate the S-box algebraically: multiplicative inverse in
+	// GF(2^8) followed by the affine transform. Generating it (rather
+	// than pasting the table) gives the tests something independent to
+	// verify against the standard library.
+	p, q := byte(1), byte(1)
+	for {
+		// p := p * 3 in GF(2^8)
+		p = p ^ (p << 1) ^ mulBranch(p)
+		// q := q / 3 (multiply by inverse of 3)
+		q ^= q << 1
+		q ^= q << 2
+		q ^= q << 4
+		if q&0x80 != 0 {
+			q ^= 0x09
+		}
+		// Affine transform of the inverse.
+		x := q ^ rotl8(q, 1) ^ rotl8(q, 2) ^ rotl8(q, 3) ^ rotl8(q, 4)
+		sbox[p] = x ^ 0x63
+		if p == 1 {
+			break
+		}
+	}
+	sbox[0] = 0x63
+	for i := 0; i < 256; i++ {
+		invSbox[sbox[i]] = byte(i)
+	}
+}
+
+func mulBranch(p byte) byte {
+	if p&0x80 != 0 {
+		return 0x1b
+	}
+	return 0
+}
+
+func rotl8(x byte, k uint) byte { return x<<k | x>>(8-k) }
+
+// xtime multiplies by x (i.e. 2) in GF(2^8).
+func xtime(b byte) byte { return b<<1 ^ mulBranch(b) }
+
+// gmul multiplies two elements of GF(2^8).
+func gmul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+// Cipher is an AES block cipher with an expanded key schedule.
+type Cipher struct {
+	enc    [][4][4]byte // round keys as 4x4 state matrices (column major)
+	rounds int
+}
+
+// NewCipher returns an AES cipher for a 16-, 24-, or 32-byte key.
+func NewCipher(key []byte) (*Cipher, error) {
+	var rounds int
+	switch len(key) {
+	case 16:
+		rounds = 10
+	case 24:
+		rounds = 12
+	case 32:
+		rounds = 14
+	default:
+		return nil, fmt.Errorf("crypto: invalid AES key size %d", len(key))
+	}
+	c := &Cipher{rounds: rounds}
+	c.expandKey(key)
+	return c, nil
+}
+
+// expandKey computes the Rijndael key schedule.
+func (c *Cipher) expandKey(key []byte) {
+	nk := len(key) / 4
+	nw := 4 * (c.rounds + 1)
+	w := make([][4]byte, nw)
+	for i := 0; i < nk; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	for i := nk; i < nw; i++ {
+		t := w[i-1]
+		if i%nk == 0 {
+			// RotWord + SubWord + Rcon
+			t = [4]byte{sbox[t[1]], sbox[t[2]], sbox[t[3]], sbox[t[0]]}
+			t[0] ^= rcon[i/nk]
+		} else if nk > 6 && i%nk == 4 {
+			t = [4]byte{sbox[t[0]], sbox[t[1]], sbox[t[2]], sbox[t[3]]}
+		}
+		for j := 0; j < 4; j++ {
+			w[i][j] = w[i-nk][j] ^ t[j]
+		}
+	}
+	c.enc = make([][4][4]byte, c.rounds+1)
+	for r := 0; r <= c.rounds; r++ {
+		for col := 0; col < 4; col++ {
+			for row := 0; row < 4; row++ {
+				c.enc[r][row][col] = w[4*r+col][row]
+			}
+		}
+	}
+}
+
+// state is the AES state matrix, s[row][col], column-major load order.
+type state [4][4]byte
+
+func loadState(src []byte) state {
+	var s state
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			s[row][col] = src[4*col+row]
+		}
+	}
+	return s
+}
+
+func (s *state) store(dst []byte) {
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			dst[4*col+row] = s[row][col]
+		}
+	}
+}
+
+func (s *state) addRoundKey(rk *[4][4]byte) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] ^= rk[r][c]
+		}
+	}
+}
+
+func (s *state) subBytes() {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = sbox[s[r][c]]
+		}
+	}
+}
+
+func (s *state) invSubBytes() {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = invSbox[s[r][c]]
+		}
+	}
+}
+
+func (s *state) shiftRows() {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[c] = s[r][(c+r)%4]
+		}
+		s[r] = tmp
+	}
+}
+
+func (s *state) invShiftRows() {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[(c+r)%4] = s[r][c]
+		}
+		s[r] = tmp
+	}
+}
+
+func (s *state) mixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3
+		s[1][c] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3
+		s[2][c] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3)
+		s[3][c] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3)
+	}
+}
+
+func (s *state) invMixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09)
+		s[1][c] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d)
+		s[2][c] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b)
+		s[3][c] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e)
+	}
+}
+
+// Encrypt encrypts one 16-byte block from src into dst. dst and src may
+// overlap. It panics if either slice is shorter than BlockSize.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("crypto: AES input not full block")
+	}
+	s := loadState(src)
+	s.addRoundKey(&c.enc[0])
+	for r := 1; r < c.rounds; r++ {
+		s.subBytes()
+		s.shiftRows()
+		s.mixColumns()
+		s.addRoundKey(&c.enc[r])
+	}
+	s.subBytes()
+	s.shiftRows()
+	s.addRoundKey(&c.enc[c.rounds])
+	s.store(dst)
+}
+
+// Decrypt decrypts one 16-byte block from src into dst. dst and src may
+// overlap. It panics if either slice is shorter than BlockSize.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("crypto: AES input not full block")
+	}
+	s := loadState(src)
+	s.addRoundKey(&c.enc[c.rounds])
+	for r := c.rounds - 1; r >= 1; r-- {
+		s.invShiftRows()
+		s.invSubBytes()
+		s.addRoundKey(&c.enc[r])
+		s.invMixColumns()
+	}
+	s.invShiftRows()
+	s.invSubBytes()
+	s.addRoundKey(&c.enc[0])
+	s.store(dst)
+}

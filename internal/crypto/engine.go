@@ -1,0 +1,109 @@
+package crypto
+
+import "encoding/binary"
+
+// CacheLineSize is the size of a memory block protected as a unit (64B),
+// matching the paper's cache line and SecPB entry data size.
+const CacheLineSize = 64
+
+// MACSize is the per-block MAC size in bytes. The paper's SecPB entry
+// reserves 512 bits per MAC.
+const MACSize = 64
+
+// Engine is the memory controller's cryptographic engine: it derives
+// one-time pads from (address, counter) seeds, XORs pads with plaintext
+// (counter-mode encryption), and computes block MACs and BMT node hashes.
+//
+// Counter-mode encryption with address-dependent seeds is the split
+// counter scheme of Yan et al. used by the paper: the OTP depends only on
+// the data-value-independent (address, counter) pair, never on the data.
+type Engine struct {
+	aes    *Cipher
+	macKey [32]byte
+	// scratch is the reusable hash state: the engine models one
+	// hardware unit and is not safe for concurrent use.
+	scratch *SHA512
+}
+
+// NewEngine returns an engine keyed by the given secret. Different key
+// material is derived internally for encryption and authentication.
+func NewEngine(key []byte) (*Engine, error) {
+	// Derive independent sub-keys via SHA-512 so a single master secret
+	// configures the whole engine.
+	d := Sum512(append([]byte("secpb-engine-v1:"), key...))
+	aes, err := NewCipher(d[:16]) // AES-128 pad generator
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{aes: aes, scratch: NewSHA512()}
+	copy(e.macKey[:], d[16:48])
+	return e, nil
+}
+
+// OTP computes the 64-byte one-time pad for a block at the given physical
+// block address with the given counter value. The pad is the AES
+// encryption of four distinct (addr, counter, lane) seeds.
+func (e *Engine) OTP(blockAddr uint64, counter uint64) [CacheLineSize]byte {
+	var pad [CacheLineSize]byte
+	var seed [BlockSize]byte
+	binary.LittleEndian.PutUint64(seed[0:], blockAddr)
+	for lane := 0; lane < CacheLineSize/BlockSize; lane++ {
+		binary.LittleEndian.PutUint64(seed[8:], counter<<2|uint64(lane))
+		e.aes.Encrypt(pad[lane*BlockSize:], seed[:])
+	}
+	return pad
+}
+
+// XOR writes dst = a XOR b for 64-byte blocks. In hardware this is the
+// single-cycle ciphertext generation step.
+func XOR(dst, a, b *[CacheLineSize]byte) {
+	for i := range dst {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// Encrypt returns the ciphertext of a 64-byte plaintext block under the
+// (blockAddr, counter) pad.
+func (e *Engine) Encrypt(plain *[CacheLineSize]byte, blockAddr, counter uint64) [CacheLineSize]byte {
+	pad := e.OTP(blockAddr, counter)
+	var ct [CacheLineSize]byte
+	XOR(&ct, plain, &pad)
+	return ct
+}
+
+// Decrypt returns the plaintext of a 64-byte ciphertext block under the
+// (blockAddr, counter) pad. Counter mode is symmetric, so this is the
+// same operation as Encrypt.
+func (e *Engine) Decrypt(cipher *[CacheLineSize]byte, blockAddr, counter uint64) [CacheLineSize]byte {
+	return e.Encrypt(cipher, blockAddr, counter)
+}
+
+// MAC computes the 64-byte authentication tag over (ciphertext, address,
+// counter). Binding the address defeats splicing and the counter defeats
+// (counter-aware) replay; freshness of the counter itself is guaranteed
+// by the BMT.
+func (e *Engine) MAC(cipher *[CacheLineSize]byte, blockAddr, counter uint64) [MACSize]byte {
+	s := e.scratch
+	s.Reset()
+	s.Write(e.macKey[:])
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], blockAddr)
+	binary.LittleEndian.PutUint64(hdr[8:], counter)
+	s.Write(hdr[:])
+	s.Write(cipher[:])
+	var tag [MACSize]byte
+	s.Sum(tag[:0])
+	return tag
+}
+
+// HashNode computes a keyed BMT node hash over arbitrary child material.
+func (e *Engine) HashNode(children []byte) [Size512]byte {
+	s := e.scratch
+	s.Reset()
+	s.Write(e.macKey[:])
+	s.Write([]byte{0xB7}) // domain separation from MAC
+	s.Write(children)
+	var out [Size512]byte
+	s.Sum(out[:0])
+	return out
+}

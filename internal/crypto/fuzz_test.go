@@ -1,0 +1,66 @@
+package crypto
+
+import (
+	"bytes"
+	stdsha "crypto/sha512"
+	"testing"
+)
+
+// FuzzSHA512 compares our implementation against the standard library
+// on arbitrary inputs and split points.
+func FuzzSHA512(f *testing.F) {
+	f.Add([]byte("abc"), 1)
+	f.Add([]byte{}, 0)
+	f.Add(bytes.Repeat([]byte{0x61}, 200), 111)
+	f.Fuzz(func(t *testing.T, data []byte, split int) {
+		got := Sum512(data)
+		want := stdsha.Sum512(data)
+		if got != want {
+			t.Fatalf("digest mismatch for %d bytes", len(data))
+		}
+		// Incremental with an arbitrary split.
+		if split < 0 {
+			split = -split
+		}
+		if len(data) > 0 {
+			split %= len(data) + 1
+		} else {
+			split = 0
+		}
+		s := NewSHA512()
+		s.Write(data[:split])
+		s.Write(data[split:])
+		var inc [Size512]byte
+		copy(inc[:], s.Sum(nil))
+		if inc != want {
+			t.Fatalf("incremental digest mismatch at split %d", split)
+		}
+	})
+}
+
+// FuzzAESRoundTrip checks Encrypt∘Decrypt = identity for arbitrary keys
+// and blocks at all three key sizes.
+func FuzzAESRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 32), make([]byte, 16))
+	f.Fuzz(func(t *testing.T, keyMaterial, block []byte) {
+		if len(keyMaterial) < 16 || len(block) < 16 {
+			return
+		}
+		for _, n := range []int{16, 24, 32} {
+			if len(keyMaterial) < n {
+				continue
+			}
+			c, err := NewCipher(keyMaterial[:n])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct := make([]byte, 16)
+			pt := make([]byte, 16)
+			c.Encrypt(ct, block[:16])
+			c.Decrypt(pt, ct)
+			if !bytes.Equal(pt, block[:16]) {
+				t.Fatalf("AES-%d round trip failed", n*8)
+			}
+		}
+	})
+}

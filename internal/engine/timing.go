@@ -1,0 +1,43 @@
+package engine
+
+// Timing collects the engine's micro-architectural timing constants that
+// are not already in config.Config. Latencies (how long one operation
+// takes end-to-end) matter on the store-acceptance critical path;
+// initiation intervals (how often a pipelined unit accepts a new
+// operation) matter on the background drain path. The asymmetry is the
+// paper's central mechanism: eager schemes pay full latencies per
+// allocation in program order, lazy schemes stream the same work through
+// the memory controller's pipelined engines (the PLP machinery of Freij
+// et al. MICRO'20).
+type Timing struct {
+	// MLP divides load-miss stall cycles: an OOO core overlaps
+	// independent misses, so only 1/MLP of each miss latency stalls
+	// retirement on average.
+	MLP uint64
+
+	// Drain-side initiation intervals (MC pipeline, cycles per event).
+	DrainBase    uint64 // fixed per-entry drain overhead
+	DrainHashII  uint64 // per SHA-512 (BMT node or MAC)
+	DrainAESII   uint64 // per OTP generation
+	DrainPMWrite uint64 // per 64B PM write (device write bandwidth)
+	DrainPMRead  uint64 // per 64B PM read issued by the drain path
+
+	// SP baseline (strict persistency with SPoP at the MC, PLP-style
+	// pipelined tuple updates): per-store initiation interval.
+	SPBaseII  uint64 // fixed per-store cost at the MC
+	SPLevelII uint64 // additional cost per BMT level walked
+}
+
+// DefaultTiming returns the calibrated constants.
+func DefaultTiming() Timing {
+	return Timing{
+		MLP:          8,
+		DrainBase:    8,
+		DrainHashII:  1,
+		DrainAESII:   1,
+		DrainPMWrite: 4,
+		DrainPMRead:  8,
+		SPBaseII:     10,
+		SPLevelII:    30,
+	}
+}

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"fmt"
+
+	"secpb/internal/config"
+	"secpb/internal/stats"
+)
+
+// Ablation quantifies the design choices the paper singles out, on a
+// representative benchmark pair (one low-NWPE, one high-NWPE):
+//
+//   - the Section IV.A data-value-independent coalescing optimization
+//     (counter/OTP/BMT once per dirty entry vs once per store), and
+//   - speculative integrity verification (PoisonIvy-style) vs blocking
+//     verification on PM reads,
+//   - separate vs unified metadata caches.
+//
+// Values are execution-time ratios of the ablated design over the
+// default design (higher = the default choice matters more).
+func Ablation(o Options) (*stats.Table, error) {
+	benches := o.Benchmarks
+	if len(benches) == 0 {
+		benches = []string{"gamess", "povray", "mcf"}
+	}
+	tab := stats.NewTable("Ablations: ablated / default execution time",
+		"Benchmark", "no-coalescing (CM)", "no-coalescing (NoGap)",
+		"blocking-verify (COBCM)", "unified-MDC (COBCM)")
+	for _, name := range benches {
+		p, err := profileByName(name)
+		if err != nil {
+			return nil, err
+		}
+
+		ratio := func(base, ablated config.Config) (float64, error) {
+			rb, err := o.run(base, p)
+			if err != nil {
+				return 0, err
+			}
+			ra, err := o.run(ablated, p)
+			if err != nil {
+				return 0, err
+			}
+			return float64(ra.Cycles) / float64(rb.Cycles), nil
+		}
+
+		cmBase := o.Cfg.WithScheme(config.SchemeCM)
+		cmAbl := cmBase
+		cmAbl.DisableDVICoalescing = true
+		r1, err := ratio(cmBase, cmAbl)
+		if err != nil {
+			return nil, err
+		}
+
+		ngBase := o.Cfg.WithScheme(config.SchemeNoGap)
+		ngAbl := ngBase
+		ngAbl.DisableDVICoalescing = true
+		r2, err := ratio(ngBase, ngAbl)
+		if err != nil {
+			return nil, err
+		}
+
+		spBase := o.Cfg.WithScheme(config.SchemeCOBCM)
+		spAbl := spBase
+		spAbl.Speculative = false
+		r3, err := ratio(spBase, spAbl)
+		if err != nil {
+			return nil, err
+		}
+
+		mdcBase := o.Cfg.WithScheme(config.SchemeCOBCM)
+		mdcAbl := mdcBase
+		mdcAbl.UnifiedMDC = true
+		r4, err := ratio(mdcBase, mdcAbl)
+		if err != nil {
+			return nil, err
+		}
+
+		tab.AddRowStrings(name,
+			fmt.Sprintf("%.2fx", r1),
+			fmt.Sprintf("%.2fx", r2),
+			fmt.Sprintf("%.2fx", r3),
+			fmt.Sprintf("%.2fx", r4))
+	}
+	return tab, nil
+}

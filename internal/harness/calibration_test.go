@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"testing"
+
+	"secpb/internal/config"
+)
+
+// TestTable4CalibrationBands is the reproduction's regression guard:
+// the full 18-benchmark Table IV geomeans must stay inside bands around
+// the paper's reported values. If a change to the workload profiles,
+// the timing model, or the SecPB pipeline moves a scheme out of its
+// band, this test names it. (~40s; skipped with -short.)
+func TestTable4CalibrationBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run takes ~40s")
+	}
+	o := DefaultOptions()
+	o.Ops = 60_000
+	grid, _, err := Table4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table IV values with reproduction bands. Bands are wider
+	// where our model documentedly deviates (see EXPERIMENTS.md): BCM's
+	// OTP latency is partially hidden by the store queue; eager schemes
+	// run slightly hotter at short horizons (cold caches).
+	bands := []struct {
+		scheme   config.Scheme
+		paper    float64 // paper's slowdown ratio
+		min, max float64
+	}{
+		{config.SchemeCOBCM, 1.013, 1.00, 1.10},
+		{config.SchemeOBCM, 1.015, 1.00, 1.12},
+		{config.SchemeBCM, 1.148, 1.02, 1.25},
+		{config.SchemeCM, 1.713, 1.40, 2.10},
+		{config.SchemeM, 1.738, 1.42, 2.15},
+		{config.SchemeNoGap, 2.184, 1.80, 2.90},
+	}
+	for _, b := range bands {
+		got := grid.Mean[b.scheme]
+		if got < b.min || got > b.max {
+			t.Errorf("%v geomean %.3f outside calibration band [%.2f, %.2f] (paper: %.3f)",
+				b.scheme, got, b.min, b.max, b.paper)
+		}
+	}
+	// Landmark benchmark: gamess must remain the extreme point under
+	// eager schemes, near-baseline under COBCM.
+	if g := grid.Ratio["gamess"][config.SchemeCM]; g < 8 {
+		t.Errorf("gamess CM = %.1fx, paper reports 18.2x (band: >8x)", g)
+	}
+	if g := grid.Ratio["gamess"][config.SchemeCOBCM]; g > 1.25 {
+		t.Errorf("gamess COBCM = %.2fx, paper reports 1.096x (band: <1.25x)", g)
+	}
+	// povray: M must be a large improvement over NoGap (paper: 51.6%).
+	improve := 1 - grid.Ratio["povray"][config.SchemeM]/grid.Ratio["povray"][config.SchemeNoGap]
+	if improve < 0.30 {
+		t.Errorf("povray NoGap->M improvement = %.0f%%, paper reports 51.6%%", improve*100)
+	}
+}

@@ -1,0 +1,381 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Section VI) from the simulator: Table IV (scheme
+// slowdowns), Figure 6 (per-benchmark execution time), Table V (battery
+// estimates), Table VI (battery vs SecPB size), Figure 7 (execution
+// time vs SecPB size under CM), Figure 8 (BMT root-update reduction),
+// Figure 9 (BMF height study), and the Section VI.B statistics report
+// (PPTI / NWPE / analytical IPC cross-check).
+//
+// Each experiment returns both raw numbers (for tests and downstream
+// tooling) and a rendered plain-text artifact in the paper's format.
+package harness
+
+import (
+	"fmt"
+
+	"secpb/internal/config"
+	"secpb/internal/energy"
+	"secpb/internal/engine"
+	"secpb/internal/stats"
+	"secpb/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Ops is the number of memory operations simulated per benchmark
+	// per configuration.
+	Ops uint64
+	// Cfg is the base system configuration (scheme/size fields are
+	// overridden per experiment).
+	Cfg config.Config
+	// Benchmarks optionally restricts the benchmark set (default all).
+	Benchmarks []string
+	// Progress, if non-nil, receives a line per completed simulation.
+	Progress func(msg string)
+}
+
+// DefaultOptions returns the standard experiment setup.
+func DefaultOptions() Options {
+	return Options{Ops: 100_000, Cfg: config.Default()}
+}
+
+func (o *Options) progress(format string, args ...interface{}) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+func profileByName(name string) (workload.Profile, error) {
+	return workload.ByName(name)
+}
+
+func (o *Options) profiles() ([]workload.Profile, error) {
+	if len(o.Benchmarks) == 0 {
+		return workload.Profiles(), nil
+	}
+	var ps []workload.Profile
+	for _, name := range o.Benchmarks {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
+// run simulates one (benchmark, config) pair.
+func (o *Options) run(cfg config.Config, prof workload.Profile) (engine.Result, error) {
+	res, err := engine.RunBenchmark(cfg, prof, o.Ops)
+	if err != nil {
+		return res, fmt.Errorf("harness: %s/%v: %w", prof.Name, cfg.Scheme, err)
+	}
+	o.progress("%s", res)
+	return res, nil
+}
+
+// SlowdownGrid holds normalized execution times: Ratio[bench][scheme].
+type SlowdownGrid struct {
+	Schemes []config.Scheme
+	Benches []string
+	Ratio   map[string]map[config.Scheme]float64
+	// Mean is the geometric-mean slowdown per scheme — the "average"
+	// of the paper's Table IV.
+	Mean map[config.Scheme]float64
+}
+
+// slowdowns runs every benchmark under baseline BBB plus the given
+// schemes at the given SecPB size, returning normalized execution time.
+func (o *Options) slowdowns(schemes []config.Scheme, entries int) (*SlowdownGrid, error) {
+	profs, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	grid := &SlowdownGrid{
+		Schemes: schemes,
+		Ratio:   map[string]map[config.Scheme]float64{},
+		Mean:    map[config.Scheme]float64{},
+	}
+	geo := map[config.Scheme]*stats.GeoMean{}
+	for _, s := range schemes {
+		geo[s] = &stats.GeoMean{}
+	}
+	for _, p := range profs {
+		grid.Benches = append(grid.Benches, p.Name)
+		base, err := o.run(o.Cfg.WithScheme(config.SchemeBBB).WithSecPBEntries(entries), p)
+		if err != nil {
+			return nil, err
+		}
+		row := map[config.Scheme]float64{}
+		for _, s := range schemes {
+			res, err := o.run(o.Cfg.WithScheme(s).WithSecPBEntries(entries), p)
+			if err != nil {
+				return nil, err
+			}
+			ratio := float64(res.Cycles) / float64(base.Cycles)
+			row[s] = ratio
+			if err := geo[s].Add(ratio); err != nil {
+				return nil, err
+			}
+		}
+		grid.Ratio[p.Name] = row
+	}
+	for _, s := range schemes {
+		grid.Mean[s] = geo[s].Value()
+	}
+	return grid, nil
+}
+
+// Table4 regenerates Table IV: mean slowdown per scheme with the
+// default 32-entry SecPB, normalized to the insecure BBB baseline.
+func Table4(o Options) (*SlowdownGrid, *stats.Table, error) {
+	grid, err := o.slowdowns(config.SecPBSchemes(), o.Cfg.SecPBEntries)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("Table IV: performance overheads, %d-entry SecPB (vs insecure BBB)", o.Cfg.SecPBEntries),
+		"Model", "Slowdown")
+	// Present laziest-first like the paper.
+	order := []config.Scheme{
+		config.SchemeCOBCM, config.SchemeOBCM, config.SchemeBCM,
+		config.SchemeCM, config.SchemeM, config.SchemeNoGap,
+	}
+	for _, s := range order {
+		tab.AddRowStrings(s.String(), stats.Percent(grid.Mean[s]))
+	}
+	return grid, tab, nil
+}
+
+// Figure6 regenerates Figure 6: per-benchmark execution time of every
+// scheme normalized to BBB.
+func Figure6(o Options) (*SlowdownGrid, *stats.BarSeries, error) {
+	grid, err := o.slowdowns(config.SecPBSchemes(), o.Cfg.SecPBEntries)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, len(grid.Schemes))
+	for i, s := range grid.Schemes {
+		names[i] = s.String()
+	}
+	bars := stats.NewBarSeries(
+		fmt.Sprintf("Figure 6: execution time, %d-entry SecPB, normalized to BBB", o.Cfg.SecPBEntries),
+		names...)
+	bars.SetUnit("x")
+	for _, b := range grid.Benches {
+		vals := make([]float64, len(grid.Schemes))
+		for i, s := range grid.Schemes {
+			vals[i] = grid.Ratio[b][s]
+		}
+		bars.Add(b, vals...)
+	}
+	return grid, bars, nil
+}
+
+// Table5 regenerates Table V: energy-source size estimates per scheme
+// plus the s_eADR / BBB / eADR comparators.
+func Table5(cfg config.Config) ([]energy.Estimate, *stats.Table, error) {
+	rows, err := energy.Table5(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("Table V: energy source size, %d-entry SecPB (per core)", cfg.SecPBEntries),
+		"System", "SuperCap mm3", "Li-Thin mm3", "SuperCap %core", "Li-Thin %core")
+	for _, r := range rows {
+		tab.AddRowStrings(r.Name,
+			fmt.Sprintf("%.2f", r.SuperCapMM3),
+			fmt.Sprintf("%.3f", r.LiThinMM3),
+			fmt.Sprintf("%.1f%%", r.SuperCapPct),
+			fmt.Sprintf("%.1f%%", r.LiThinPct))
+	}
+	return rows, tab, nil
+}
+
+// Table6Sizes is the paper's Table VI size sweep.
+var Table6Sizes = []int{8, 16, 32, 64, 128, 256, 512}
+
+// Table6 regenerates Table VI: battery capacity versus SecPB size for
+// the COBCM and NoGap models.
+func Table6(cfg config.Config) (*stats.Table, error) {
+	cobcm, nogap, err := energy.Table6(cfg, Table6Sizes)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Table VI: battery capacity vs SecPB size (SuperCap / Li-Thin mm3)",
+		"Size", "COBCM SuperCap", "COBCM Li-Thin", "NoGap SuperCap", "NoGap Li-Thin")
+	for i, n := range Table6Sizes {
+		tab.AddRowStrings(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", cobcm[i].SuperCapMM3),
+			fmt.Sprintf("%.3f", cobcm[i].LiThinMM3),
+			fmt.Sprintf("%.2f", nogap[i].SuperCapMM3),
+			fmt.Sprintf("%.3f", nogap[i].LiThinMM3))
+	}
+	return tab, nil
+}
+
+// Figure7Sizes is the paper's Figure 7 size sweep.
+var Figure7Sizes = []int{8, 16, 32, 64, 128, 512}
+
+// Figure7 regenerates Figure 7: execution time of the CM model across
+// SecPB sizes, normalized to BBB at the same size.
+func Figure7(o Options) (map[int]map[string]float64, *stats.BarSeries, error) {
+	profs, err := o.profiles()
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, len(Figure7Sizes))
+	for i, n := range Figure7Sizes {
+		names[i] = fmt.Sprintf("%d-entry", n)
+	}
+	bars := stats.NewBarSeries("Figure 7: execution time of CM across SecPB sizes, normalized to BBB", names...)
+	bars.SetUnit("x")
+	out := map[int]map[string]float64{}
+	for _, n := range Figure7Sizes {
+		out[n] = map[string]float64{}
+	}
+	for _, p := range profs {
+		vals := make([]float64, 0, len(Figure7Sizes))
+		for _, n := range Figure7Sizes {
+			base, err := o.run(o.Cfg.WithScheme(config.SchemeBBB).WithSecPBEntries(n), p)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := o.run(o.Cfg.WithScheme(config.SchemeCM).WithSecPBEntries(n), p)
+			if err != nil {
+				return nil, nil, err
+			}
+			ratio := float64(res.Cycles) / float64(base.Cycles)
+			out[n][p.Name] = ratio
+			vals = append(vals, ratio)
+		}
+		bars.Add(p.Name, vals...)
+	}
+	return out, bars, nil
+}
+
+// Figure8 regenerates Figure 8: total BMT root updates per scheme and
+// per CM SecPB size, normalized to sec_wt (the per-store write-through
+// count, i.e. the SP baseline's one update per store).
+func Figure8(o Options) (map[string]map[string]float64, *stats.Table, error) {
+	profs, err := o.profiles()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := map[string]map[string]float64{}
+	cols := []string{}
+	for _, s := range config.SecPBSchemes() {
+		cols = append(cols, s.String()+"-32")
+	}
+	for _, n := range Figure7Sizes {
+		cols = append(cols, fmt.Sprintf("cm-%d", n))
+	}
+	tab := stats.NewTable("Figure 8: BMT root updates normalized to sec_wt (1 update per store)",
+		append([]string{"Benchmark"}, cols...)...)
+	for _, p := range profs {
+		row := map[string]float64{}
+		cells := []string{p.Name}
+		for _, s := range config.SecPBSchemes() {
+			res, err := o.run(o.Cfg.WithScheme(s), p)
+			if err != nil {
+				return nil, nil, err
+			}
+			frac := float64(res.BMTRootUpdates) / float64(res.Stores)
+			row[s.String()+"-32"] = frac
+			cells = append(cells, fmt.Sprintf("%.1f%%", frac*100))
+		}
+		for _, n := range Figure7Sizes {
+			res, err := o.run(o.Cfg.WithScheme(config.SchemeCM).WithSecPBEntries(n), p)
+			if err != nil {
+				return nil, nil, err
+			}
+			frac := float64(res.BMTRootUpdates) / float64(res.Stores)
+			row[fmt.Sprintf("cm-%d", n)] = frac
+			cells = append(cells, fmt.Sprintf("%.1f%%", frac*100))
+		}
+		out[p.Name] = row
+		tab.AddRowStrings(cells...)
+	}
+	return out, tab, nil
+}
+
+// Figure9 regenerates Figure 9: the BMT height study — CM with DBMF and
+// SBMF versus the SP baseline with the same forests, normalized to BBB.
+func Figure9(o Options) (map[string]map[string]float64, *stats.BarSeries, error) {
+	profs, err := o.profiles()
+	if err != nil {
+		return nil, nil, err
+	}
+	type variant struct {
+		name   string
+		scheme config.Scheme
+		bmf    config.BMFMode
+	}
+	variants := []variant{
+		{"sp_dbmf", config.SchemeSP, config.BMFDynamic},
+		{"sp_sbmf", config.SchemeSP, config.BMFStatic},
+		{"cm_dbmf", config.SchemeCM, config.BMFDynamic},
+		{"cm_sbmf", config.SchemeCM, config.BMFStatic},
+	}
+	names := make([]string, len(variants))
+	for i, v := range variants {
+		names[i] = v.name
+	}
+	bars := stats.NewBarSeries("Figure 9: CM with DBMF/SBMF vs SP baselines, normalized to BBB", names...)
+	bars.SetUnit("x")
+	out := map[string]map[string]float64{}
+	for _, p := range profs {
+		base, err := o.run(o.Cfg.WithScheme(config.SchemeBBB), p)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := map[string]float64{}
+		vals := make([]float64, 0, len(variants))
+		for _, v := range variants {
+			cfg := o.Cfg.WithScheme(v.scheme)
+			cfg.BMFMode = v.bmf
+			res, err := o.run(cfg, p)
+			if err != nil {
+				return nil, nil, err
+			}
+			ratio := float64(res.Cycles) / float64(base.Cycles)
+			row[v.name] = ratio
+			vals = append(vals, ratio)
+		}
+		out[p.Name] = row
+		bars.Add(p.Name, vals...)
+	}
+	return out, bars, nil
+}
+
+// StatsReport regenerates the Section VI.B statistics: per-benchmark
+// PPTI, NWPE, baseline IPC, and the paper's analytical IPC estimate for
+// the NoGap model (IPC ~= 1000 / (320*PPTI/NWPE + 40*PPTI)) against the
+// simulated NoGap IPC.
+func StatsReport(o Options) (*stats.Table, error) {
+	profs, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Section VI.B statistics (per benchmark)",
+		"Benchmark", "PPTI", "NWPE", "BBB IPC", "NoGap IPC", "Analytical IPC")
+	for _, p := range profs {
+		base, err := o.run(o.Cfg.WithScheme(config.SchemeBBB), p)
+		if err != nil {
+			return nil, err
+		}
+		ng, err := o.run(o.Cfg.WithScheme(config.SchemeNoGap), p)
+		if err != nil {
+			return nil, err
+		}
+		bmtLat := float64(o.Cfg.BMTLevels) * float64(o.Cfg.MACLatency)
+		analytical := 1000 / (bmtLat*ng.PPTI/ng.NWPE + float64(o.Cfg.MACLatency)*ng.PPTI)
+		tab.AddRowStrings(p.Name,
+			fmt.Sprintf("%.1f", ng.PPTI),
+			fmt.Sprintf("%.1f", ng.NWPE),
+			fmt.Sprintf("%.2f", base.IPC),
+			fmt.Sprintf("%.2f", ng.IPC),
+			fmt.Sprintf("%.2f", analytical))
+	}
+	return tab, nil
+}

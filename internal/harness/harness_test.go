@@ -1,0 +1,231 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"secpb/internal/config"
+)
+
+// quickOpts keeps harness tests fast: few benchmarks, short runs.
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.Ops = 8000
+	o.Benchmarks = []string{"gamess", "povray", "mcf"}
+	return o
+}
+
+func TestTable4ShapeAndOrdering(t *testing.T) {
+	grid, tab, err := Table4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 6 {
+		t.Errorf("Table IV rows = %d, want 6", tab.NumRows())
+	}
+	// The fundamental ordering across the design spectrum.
+	if !(grid.Mean[config.SchemeCOBCM] <= grid.Mean[config.SchemeOBCM] &&
+		grid.Mean[config.SchemeOBCM] <= grid.Mean[config.SchemeBCM] &&
+		grid.Mean[config.SchemeBCM] <= grid.Mean[config.SchemeCM] &&
+		grid.Mean[config.SchemeCM] <= grid.Mean[config.SchemeM] &&
+		grid.Mean[config.SchemeM] <= grid.Mean[config.SchemeNoGap]) {
+		t.Errorf("scheme ordering violated: %v", grid.Mean)
+	}
+	out := tab.String()
+	for _, want := range []string{"cobcm", "nogap", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}
+
+func TestFigure6PerBenchmark(t *testing.T) {
+	grid, bars, err := Figure6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars.Labels()) != 3 {
+		t.Errorf("Figure 6 labels = %v", bars.Labels())
+	}
+	// gamess under NoGap must be the extreme point (paper: ~18x).
+	g := grid.Ratio["gamess"][config.SchemeNoGap]
+	if g < 5 {
+		t.Errorf("gamess NoGap ratio = %.1f, expected the extreme benchmark", g)
+	}
+	if grid.Ratio["gamess"][config.SchemeCOBCM] > 1.5 {
+		t.Errorf("gamess COBCM ratio = %.1f, should be near 1", grid.Ratio["gamess"][config.SchemeCOBCM])
+	}
+}
+
+func TestTable5Render(t *testing.T) {
+	rows, tab, err := Table5(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 || tab.NumRows() != 9 {
+		t.Errorf("Table V rows = %d/%d", len(rows), tab.NumRows())
+	}
+	if !strings.Contains(tab.String(), "s_eadr") {
+		t.Error("Table V missing s_eadr row")
+	}
+}
+
+func TestTable6Render(t *testing.T) {
+	tab, err := Table6(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != len(Table6Sizes) {
+		t.Errorf("Table VI rows = %d", tab.NumRows())
+	}
+}
+
+func TestFigure7SizeTrend(t *testing.T) {
+	o := quickOpts()
+	o.Benchmarks = []string{"gobmk"} // the size-sensitive benchmark
+	vals, _, err := Figure7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gobmk's CM overhead must shrink from 8 to 512 entries (paper:
+	// "write-intensive workloads such as gobmk observe continued
+	// reduction of performance overheads as the SecPB capacity ...
+	// increases").
+	if vals[512]["gobmk"] >= vals[8]["gobmk"] {
+		t.Errorf("gobmk CM: 512-entry ratio %.2f not below 8-entry %.2f",
+			vals[512]["gobmk"], vals[8]["gobmk"])
+	}
+}
+
+func TestFigure8CoalescingFractions(t *testing.T) {
+	o := quickOpts()
+	o.Ops = 40000 // large SecPB sizes need enough stores to drain at all
+	o.Benchmarks = []string{"povray", "bwaves"}
+	vals, tab, err := Figure8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("Figure 8 rows = %d", tab.NumRows())
+	}
+	// povray coalesces heavily: far fewer root updates than stores.
+	if f := vals["povray"]["cm-32"]; f > 0.2 {
+		t.Errorf("povray root-update fraction = %.2f, want < 0.2", f)
+	}
+	// bwaves streams: capacity insensitive (paper's observation).
+	small, big := vals["bwaves"]["cm-8"], vals["bwaves"]["cm-512"]
+	if small == 0 || big == 0 {
+		t.Fatal("bwaves fractions missing")
+	}
+	if rel := small / big; rel > 1.3 || rel < 0.77 {
+		t.Errorf("bwaves root updates vary with capacity: 8-entry %.3f vs 512-entry %.3f", small, big)
+	}
+	// gobmk-style capacity sensitivity is covered in Figure 7's test.
+}
+
+func TestFigure9BMFOrdering(t *testing.T) {
+	o := quickOpts()
+	o.Benchmarks = []string{"povray", "gamess"}
+	vals, _, err := Figure9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"povray", "gamess"} {
+		row := vals[b]
+		// The paper's headline: CM+BMF beats the SP baselines, and the
+		// shallower forest (DBMF, height 2) beats SBMF (height 5).
+		if row["cm_dbmf"] >= row["sp_dbmf"] {
+			t.Errorf("%s: cm_dbmf %.2f not better than sp_dbmf %.2f", b, row["cm_dbmf"], row["sp_dbmf"])
+		}
+		if row["cm_sbmf"] >= row["sp_sbmf"] {
+			t.Errorf("%s: cm_sbmf %.2f not better than sp_sbmf %.2f", b, row["cm_sbmf"], row["sp_sbmf"])
+		}
+		if row["cm_dbmf"] > row["cm_sbmf"] {
+			t.Errorf("%s: cm_dbmf %.2f slower than cm_sbmf %.2f", b, row["cm_dbmf"], row["cm_sbmf"])
+		}
+	}
+}
+
+func TestStatsReport(t *testing.T) {
+	o := quickOpts()
+	o.Benchmarks = []string{"gamess"}
+	tab, err := StatsReport(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "gamess") || !strings.Contains(out, "PPTI") {
+		t.Errorf("stats report malformed:\n%s", out)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	o := quickOpts()
+	o.Ops = 2000
+	o.Benchmarks = []string{"mcf"}
+	var lines int
+	o.Progress = func(string) { lines++ }
+	if _, _, err := Table4(o); err != nil {
+		t.Fatal(err)
+	}
+	if lines != 7 { // BBB baseline + 6 schemes
+		t.Errorf("progress lines = %d, want 7", lines)
+	}
+}
+
+func TestUnknownBenchmarkRejected(t *testing.T) {
+	o := quickOpts()
+	o.Benchmarks = []string{"doom"}
+	if _, _, err := Table4(o); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestAblationTable(t *testing.T) {
+	o := quickOpts()
+	o.Benchmarks = []string{"povray"}
+	tab, err := Ablation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "povray") || !strings.Contains(out, "no-coalescing") {
+		t.Errorf("ablation table malformed:\n%s", out)
+	}
+	if tab.NumRows() != 1 {
+		t.Errorf("rows = %d", tab.NumRows())
+	}
+}
+
+func TestGapsReport(t *testing.T) {
+	o := quickOpts()
+	o.Benchmarks = []string{"povray"}
+	tab, err := GapsReport(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 6 {
+		t.Errorf("rows = %d, want one per scheme", tab.NumRows())
+	}
+	if !strings.Contains(tab.String(), "5/5 tuple steps") {
+		t.Error("COBCM crash work not reported as all five steps")
+	}
+}
+
+func TestSensitivity(t *testing.T) {
+	o := quickOpts()
+	o.Benchmarks = []string{"gamess"}
+	tab, err := Sensitivity(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 9 {
+		t.Errorf("rows = %d, want 9 (3 params x 3 values)", tab.NumRows())
+	}
+	out := tab.String()
+	for _, want := range []string{"MAC/hash latency", "BMT height", "watermark"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}

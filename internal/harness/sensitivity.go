@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+
+	"secpb/internal/config"
+	"secpb/internal/stats"
+)
+
+// GapsReport measures the battery-exposure window of Figure 3: the
+// cycles from a store's point of persistency until its memory tuple is
+// fully drained (draining gap + sec-sync gap). Lazier schemes are
+// expected to show no larger windows — the drain pipeline is the same —
+// but the work *inside* the window (what the battery must finish after
+// a crash) grows; the table shows both.
+func GapsReport(o Options) (*stats.Table, error) {
+	profs, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("Battery-exposure windows per scheme (PoP -> tuple drained)",
+		"Benchmark", "Scheme", "Mean cycles", "P99 cycles", "Crash work (per entry)")
+	for _, p := range profs {
+		for _, s := range config.SecPBSchemes() {
+			res, err := o.run(o.Cfg.WithScheme(s), p)
+			if err != nil {
+				return nil, err
+			}
+			// Summarize crash-time work qualitatively from the scheme.
+			e := s.Early()
+			work := 0
+			for _, late := range []bool{!e.Counter, !e.OTP, !e.BMT, !e.Ciphertext, !e.MAC} {
+				if late {
+					work++
+				}
+			}
+			tab.AddRowStrings(p.Name, s.String(),
+				fmt.Sprintf("%.0f", res.GapMean),
+				fmt.Sprintf("%d", res.GapP99),
+				fmt.Sprintf("%d/5 tuple steps", work))
+		}
+	}
+	return tab, nil
+}
+
+// Sensitivity sweeps the security-mechanism parameters around the
+// paper's operating point (Table I) to show which latencies the results
+// hinge on: the MAC/hash latency (40 cycles), the BMT height (8
+// levels), and the SecPB drain watermark.
+func Sensitivity(o Options) (*stats.Table, error) {
+	benches := o.Benchmarks
+	if len(benches) == 0 {
+		benches = []string{"gamess", "povray"}
+	}
+	tab := stats.NewTable("Sensitivity of CM overhead to security-mechanism parameters",
+		"Benchmark", "Parameter", "Value", "Slowdown vs BBB")
+	for _, name := range benches {
+		p, err := profileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := o.run(o.Cfg.WithScheme(config.SchemeBBB), p)
+		if err != nil {
+			return nil, err
+		}
+		ratioFor := func(cfg config.Config) (float64, error) {
+			res, err := o.run(cfg, p)
+			if err != nil {
+				return 0, err
+			}
+			return float64(res.Cycles) / float64(base.Cycles), nil
+		}
+
+		for _, lat := range []uint64{20, 40, 80} {
+			cfg := o.Cfg.WithScheme(config.SchemeCM)
+			cfg.MACLatency = lat
+			r, err := ratioFor(cfg)
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRowStrings(name, "MAC/hash latency", fmt.Sprintf("%d cy", lat), fmt.Sprintf("%.2fx", r))
+		}
+		for _, h := range []int{4, 8, 12} {
+			cfg := o.Cfg.WithScheme(config.SchemeCM)
+			cfg.BMTLevels = h
+			r, err := ratioFor(cfg)
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRowStrings(name, "BMT height", fmt.Sprintf("%d levels", h), fmt.Sprintf("%.2fx", r))
+		}
+		for _, hi := range []float64{0.5, 0.75, 0.9} {
+			cfg := o.Cfg.WithScheme(config.SchemeCOBCM)
+			cfg.DrainHi = hi
+			r, err := ratioFor(cfg)
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRowStrings(name, "drain high watermark", fmt.Sprintf("%.0f%%", hi*100), fmt.Sprintf("%.2fx", r))
+		}
+	}
+	return tab, nil
+}

@@ -1,0 +1,193 @@
+// Package mem models the volatile memory-side structures: set-associative
+// caches with LRU replacement (used for the L1/L2/L3 data hierarchy and
+// the memory controller's metadata caches) and the core's store buffer.
+//
+// Caches here are timing/state models: they track which blocks are
+// resident, not block contents (functional data lives in the persist
+// buffer and the NVM model). Blocks written through a persist buffer are
+// marked persist-dirty: because the PB guarantees they reach PM, their
+// eviction is silently discarded like a clean block (paper Section IV.C).
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+
+	"secpb/internal/config"
+)
+
+// lineState tracks residency and writeback semantics of one cache line.
+type lineState uint8
+
+const (
+	invalid lineState = iota
+	clean
+	dirty        // must be written back on eviction
+	persistDirty // dirty but persisted via PB: silently droppable
+)
+
+type line struct {
+	tag   uint64
+	state lineState
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	name      string
+	setMask   uint64
+	setShift  uint
+	ways      int
+	sets      []line // sets * ways, row major
+	clock     uint64
+	latency   uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	wbacks    uint64
+}
+
+// NewCache builds a cache from its configuration. The config must be
+// valid (power-of-two set count).
+func NewCache(name string, cfg config.CacheConfig) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: cache %s has invalid set count %d", name, sets))
+	}
+	return &Cache{
+		name:     name,
+		setMask:  uint64(sets - 1),
+		setShift: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+		ways:     cfg.Ways,
+		sets:     make([]line, sets*cfg.Ways),
+		latency:  cfg.AccessCycles,
+	}
+}
+
+// Latency returns the configured access latency in cycles.
+func (c *Cache) Latency() uint64 { return c.latency }
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+func (c *Cache) set(blockAddr uint64) []line {
+	idx := (blockAddr >> c.setShift) & c.setMask
+	return c.sets[idx*uint64(c.ways) : (idx+1)*uint64(c.ways)]
+}
+
+// Lookup reports whether the block is resident, without changing state.
+func (c *Cache) Lookup(blockAddr uint64) bool {
+	for i := range c.set(blockAddr) {
+		l := &c.set(blockAddr)[i]
+		if l.state != invalid && l.tag == blockAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Access touches the block: on hit the LRU state refreshes and, for
+// writes, the line state upgrades. Returns whether it hit.
+func (c *Cache) Access(blockAddr uint64, write, persist bool) bool {
+	c.clock++
+	set := c.set(blockAddr)
+	for i := range set {
+		l := &set[i]
+		if l.state != invalid && l.tag == blockAddr {
+			c.hits++
+			l.used = c.clock
+			if write {
+				if persist {
+					l.state = persistDirty
+				} else if l.state != persistDirty {
+					l.state = dirty
+				}
+			}
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Victim describes a block evicted by Fill.
+type Victim struct {
+	Addr      uint64
+	Dirty     bool // needs writeback (true dirty, not persist-dirty)
+	Discarded bool // persist-dirty line silently dropped
+}
+
+// Fill allocates the block, evicting the LRU line if needed. The write
+// and persist flags set the new line's state as in Access.
+func (c *Cache) Fill(blockAddr uint64, write, persist bool) (Victim, bool) {
+	c.clock++
+	set := c.set(blockAddr)
+	victimIdx := -1
+	var oldest uint64 = ^uint64(0)
+	for i := range set {
+		l := &set[i]
+		if l.state == invalid {
+			victimIdx = i
+			oldest = 0
+			break
+		}
+		if l.used < oldest {
+			oldest = l.used
+			victimIdx = i
+		}
+	}
+	l := &set[victimIdx]
+	var v Victim
+	hadVictim := false
+	if l.state != invalid {
+		hadVictim = true
+		v.Addr = l.tag
+		switch l.state {
+		case dirty:
+			v.Dirty = true
+			c.wbacks++
+		case persistDirty:
+			v.Discarded = true
+		}
+		c.evictions++
+	}
+	st := clean
+	if write {
+		if persist {
+			st = persistDirty
+		} else {
+			st = dirty
+		}
+	}
+	*l = line{tag: blockAddr, state: st, used: c.clock}
+	return v, hadVictim
+}
+
+// Invalidate removes the block if resident, returning whether it was
+// dirty (needing writeback).
+func (c *Cache) Invalidate(blockAddr uint64) (wasDirty bool) {
+	set := c.set(blockAddr)
+	for i := range set {
+		l := &set[i]
+		if l.state != invalid && l.tag == blockAddr {
+			wasDirty = l.state == dirty
+			l.state = invalid
+			return wasDirty
+		}
+	}
+	return false
+}
+
+// Stats returns (hits, misses, evictions, writebacks).
+func (c *Cache) Stats() (hits, misses, evictions, wbacks uint64) {
+	return c.hits, c.misses, c.evictions, c.wbacks
+}
+
+// HitRate returns hits/(hits+misses), or 0 when no accesses happened.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

@@ -1,0 +1,160 @@
+package mem
+
+import "secpb/internal/config"
+
+// AccessResult describes where in the hierarchy an access was served and
+// what it cost.
+type AccessResult struct {
+	// Level is 1..3 for cache hits, 4 for PM.
+	Level int
+	// Cycles is the load-to-use latency in core cycles (excluding any
+	// PM queueing, which the memory-controller model adds).
+	Cycles uint64
+	// PMAccess reports whether PM was accessed (LLC miss).
+	PMAccess bool
+}
+
+// Hierarchy models the three-level data cache hierarchy. All levels are
+// non-inclusive; fills allocate in every level along the path (matching
+// the common gem5 classic-cache setup the paper uses).
+type Hierarchy struct {
+	l1, l2, l3 *Cache
+	pmCycles   uint64
+}
+
+// NewHierarchy builds the L1/L2/L3 hierarchy from cfg.
+func NewHierarchy(cfg config.Config) *Hierarchy {
+	return &Hierarchy{
+		l1:       NewCache("l1d", cfg.L1),
+		l2:       NewCache("l2", cfg.L2),
+		l3:       NewCache("llc", cfg.L3),
+		pmCycles: cfg.PMReadCycles(),
+	}
+}
+
+// L1 returns the L1D cache model.
+func (h *Hierarchy) L1() *Cache { return h.l1 }
+
+// L2 returns the L2 cache model.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// L3 returns the last-level cache model.
+func (h *Hierarchy) L3() *Cache { return h.l3 }
+
+// Load performs a read of the block, filling on the way in.
+func (h *Hierarchy) Load(blockAddr uint64) AccessResult {
+	if h.l1.Access(blockAddr, false, false) {
+		return AccessResult{Level: 1, Cycles: h.l1.Latency()}
+	}
+	if h.l2.Access(blockAddr, false, false) {
+		h.l1.Fill(blockAddr, false, false)
+		return AccessResult{Level: 2, Cycles: h.l1.Latency() + h.l2.Latency()}
+	}
+	if h.l3.Access(blockAddr, false, false) {
+		h.l2.Fill(blockAddr, false, false)
+		h.l1.Fill(blockAddr, false, false)
+		return AccessResult{Level: 3, Cycles: h.l1.Latency() + h.l2.Latency() + h.l3.Latency()}
+	}
+	h.l3.Fill(blockAddr, false, false)
+	h.l2.Fill(blockAddr, false, false)
+	h.l1.Fill(blockAddr, false, false)
+	return AccessResult{
+		Level:    4,
+		Cycles:   h.l1.Latency() + h.l2.Latency() + h.l3.Latency() + h.pmCycles,
+		PMAccess: true,
+	}
+}
+
+// Store performs a write of the block. Under a persistent hierarchy the
+// store simultaneously enters the persist buffer, so the line is marked
+// persist-dirty: its eventual eviction is silently discarded because the
+// PB guarantees the data reaches PM (paper Section IV.C). The store
+// allocates in L1 on a miss (write-allocate) but does not need the old
+// data from PM: the PB coalesces at word granularity.
+func (h *Hierarchy) Store(blockAddr uint64) AccessResult {
+	if h.l1.Access(blockAddr, true, true) {
+		return AccessResult{Level: 1, Cycles: h.l1.Latency()}
+	}
+	// Write-allocate without fetch: a PB-backed store needs no fill
+	// data from PM (the PB entry fetches/merges it), so the store pays
+	// only the allocation latency of the levels it traverses.
+	if h.l2.Access(blockAddr, true, true) {
+		h.l1.Fill(blockAddr, true, true)
+		return AccessResult{Level: 2, Cycles: h.l1.Latency() + h.l2.Latency()}
+	}
+	if h.l3.Access(blockAddr, true, true) {
+		h.l2.Fill(blockAddr, true, true)
+		h.l1.Fill(blockAddr, true, true)
+		return AccessResult{Level: 3, Cycles: h.l1.Latency() + h.l2.Latency() + h.l3.Latency()}
+	}
+	h.l3.Fill(blockAddr, true, true)
+	h.l2.Fill(blockAddr, true, true)
+	h.l1.Fill(blockAddr, true, true)
+	return AccessResult{Level: 4, Cycles: h.l1.Latency() + h.l2.Latency() + h.l3.Latency()}
+}
+
+// StoreBuffer models the core's store queue: stores enter at commit and
+// leave when the persist buffer accepts them. Because acceptance can be
+// slow under eager SecPB schemes, the buffer absorbs bursts; the core
+// stalls only when it is full. It is implemented as a ring of completion
+// times.
+type StoreBuffer struct {
+	done  []uint64 // acceptance-completion cycle per in-flight store
+	head  int      // oldest in-flight store
+	tail  int      // next free slot
+	count int
+	stall uint64 // cumulative full-stall cycles
+}
+
+// NewStoreBuffer returns a buffer with the given capacity.
+func NewStoreBuffer(capacity int) *StoreBuffer {
+	if capacity <= 0 {
+		panic("mem: store buffer capacity must be positive")
+	}
+	return &StoreBuffer{done: make([]uint64, capacity)}
+}
+
+// Push records a store committing at cycle `now` whose PB acceptance
+// completes at `acceptDone`. It returns the cycle at which the core can
+// actually proceed: `now` if the buffer has room, otherwise the time the
+// oldest entry retires.
+func (sb *StoreBuffer) Push(now, acceptDone uint64) uint64 {
+	// Retire all entries already accepted by `now`.
+	for sb.count > 0 && sb.done[sb.head] <= now {
+		sb.head = (sb.head + 1) % len(sb.done)
+		sb.count--
+	}
+	proceed := now
+	if sb.count == len(sb.done) {
+		// Full: wait for the oldest acceptance.
+		proceed = sb.done[sb.head]
+		sb.stall += proceed - now
+		sb.head = (sb.head + 1) % len(sb.done)
+		sb.count--
+	}
+	sb.done[sb.tail] = acceptDone
+	sb.tail = (sb.tail + 1) % len(sb.done)
+	sb.count++
+	return proceed
+}
+
+// DrainedBy returns the cycle at which every store currently in the
+// buffer has been accepted (used at crash points and fences).
+func (sb *StoreBuffer) DrainedBy() uint64 {
+	var max uint64
+	for i, c := 0, sb.count; c > 0; c-- {
+		idx := (sb.head + i) % len(sb.done)
+		if sb.done[idx] > max {
+			max = sb.done[idx]
+		}
+		i++
+	}
+	return max
+}
+
+// Occupancy returns the number of in-flight stores.
+func (sb *StoreBuffer) Occupancy() int { return sb.count }
+
+// StallCycles returns the cumulative cycles the core spent blocked on a
+// full store buffer.
+func (sb *StoreBuffer) StallCycles() uint64 { return sb.stall }

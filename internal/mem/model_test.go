@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"testing"
+
+	"secpb/internal/config"
+	"secpb/internal/xrand"
+)
+
+// refCache is an executable specification of a set-associative LRU
+// cache: per set, an ordered slice from MRU to LRU.
+type refCache struct {
+	sets     [][]uint64
+	ways     int
+	setMask  uint64
+	setShift uint
+}
+
+func newRefCache(cfg config.CacheConfig) *refCache {
+	sets := cfg.Sets()
+	return &refCache{
+		sets:     make([][]uint64, sets),
+		ways:     cfg.Ways,
+		setMask:  uint64(sets - 1),
+		setShift: 6,
+	}
+}
+
+func (r *refCache) set(addr uint64) int {
+	return int((addr >> r.setShift) & r.setMask)
+}
+
+// access touches addr, returns hit, and maintains LRU order.
+func (r *refCache) access(addr uint64) bool {
+	si := r.set(addr)
+	s := r.sets[si]
+	for i, a := range s {
+		if a == addr {
+			// Move to MRU.
+			copy(s[1:i+1], s[:i])
+			s[0] = addr
+			return true
+		}
+	}
+	return false
+}
+
+// fill allocates addr, evicting LRU if full; returns victim and whether
+// one existed.
+func (r *refCache) fill(addr uint64) (uint64, bool) {
+	si := r.set(addr)
+	s := r.sets[si]
+	var victim uint64
+	had := false
+	if len(s) == r.ways {
+		victim = s[len(s)-1]
+		s = s[:len(s)-1]
+		had = true
+	}
+	r.sets[si] = append([]uint64{addr}, s...)
+	return victim, had
+}
+
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	cfg := config.CacheConfig{SizeBytes: 4096, Ways: 4, BlockBytes: 64, AccessCycles: 1}
+	impl := NewCache("model", cfg)
+	ref := newRefCache(cfg)
+	r := xrand.New(0xCACE)
+	const blocks = 64 // 4x the capacity to force evictions
+	for step := 0; step < 20000; step++ {
+		a := uint64(r.Intn(blocks)) * 64
+		wantHit := ref.access(a)
+		gotHit := impl.Access(a, false, false)
+		if gotHit != wantHit {
+			t.Fatalf("step %d addr %#x: hit=%v want %v", step, a, gotHit, wantHit)
+		}
+		if !gotHit {
+			refVictim, refHad := ref.fill(a)
+			v, had := impl.Fill(a, false, false)
+			if had != refHad {
+				t.Fatalf("step %d: victim presence %v want %v", step, had, refHad)
+			}
+			if had && v.Addr != refVictim {
+				t.Fatalf("step %d: evicted %#x, reference evicts %#x", step, v.Addr, refVictim)
+			}
+		}
+	}
+}
+
+func TestCacheOccupancyNeverExceedsWays(t *testing.T) {
+	cfg := config.CacheConfig{SizeBytes: 1024, Ways: 2, BlockBytes: 64, AccessCycles: 1}
+	c := NewCache("cap", cfg)
+	r := xrand.New(7)
+	resident := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		a := uint64(r.Intn(40)) * 64
+		if !c.Access(a, false, false) {
+			if v, had := c.Fill(a, false, false); had {
+				delete(resident, v.Addr)
+			}
+			resident[a] = true
+		}
+		// Count per-set residency.
+		perSet := map[uint64]int{}
+		for b := range resident {
+			perSet[(b>>6)&uint64(cfg.Sets()-1)]++
+		}
+		for set, n := range perSet {
+			if n > cfg.Ways {
+				t.Fatalf("step %d: set %d holds %d > %d ways", i, set, n, cfg.Ways)
+			}
+		}
+	}
+}

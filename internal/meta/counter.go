@@ -1,0 +1,151 @@
+// Package meta implements the security metadata stores of the memory
+// controller: split counters (major page counter + per-block minor
+// counters) and per-block MACs. Both are functional models — they hold
+// real values that the recovery and attack experiments verify — with
+// cacheability handled by mem.Cache instances keyed on metadata line
+// addresses.
+package meta
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"secpb/internal/addr"
+)
+
+// MinorBits is the width of a minor (per-block) counter. The paper's
+// SecPB entry carries an 8-bit counter field.
+const MinorBits = 8
+
+// minorMax is the largest minor counter value before overflow.
+const minorMax = 1<<MinorBits - 1
+
+// CounterLine is the split-counter line for one 4KB encryption page: a
+// major counter shared by the page and one minor counter per block.
+type CounterLine struct {
+	Major  uint64
+	Minors [addr.BlocksPerPage]uint8
+}
+
+// Value returns the combined encryption counter for the block at the
+// given in-page offset.
+func (cl *CounterLine) Value(offset int) uint64 {
+	return cl.Major<<MinorBits | uint64(cl.Minors[offset])
+}
+
+// Bytes serializes the line for hashing as a BMT leaf.
+func (cl *CounterLine) Bytes() []byte {
+	buf := make([]byte, 8+addr.BlocksPerPage)
+	binary.LittleEndian.PutUint64(buf, cl.Major)
+	copy(buf[8:], cl.Minors[:])
+	return buf
+}
+
+// CounterStore holds the split counters for the whole PM, created lazily
+// (absent pages have all-zero counters).
+type CounterStore struct {
+	lines map[uint64]*CounterLine
+	// overflows counts minor-counter overflows (page re-encryptions).
+	overflows uint64
+}
+
+// NewCounterStore returns an empty store.
+func NewCounterStore() *CounterStore {
+	return &CounterStore{lines: make(map[uint64]*CounterLine)}
+}
+
+// Line returns the counter line for a page, creating it if absent.
+func (cs *CounterStore) Line(page uint64) *CounterLine {
+	cl, ok := cs.lines[page]
+	if !ok {
+		cl = &CounterLine{}
+		cs.lines[page] = cl
+	}
+	return cl
+}
+
+// Peek returns the counter line if present, without creating it.
+func (cs *CounterStore) Peek(page uint64) (*CounterLine, bool) {
+	cl, ok := cs.lines[page]
+	return cl, ok
+}
+
+// Value returns the block's current encryption counter.
+func (cs *CounterStore) Value(b addr.Block) uint64 {
+	return cs.Line(b.Page()).Value(b.PageOffset())
+}
+
+// Increment bumps the block's minor counter, handling overflow by
+// incrementing the major counter and resetting the page's minors (a page
+// re-encryption event). It returns the new counter value and whether an
+// overflow occurred; on overflow the caller must re-encrypt every block
+// of the page under its new counter.
+func (cs *CounterStore) Increment(b addr.Block) (newValue uint64, overflow bool) {
+	cl := cs.Line(b.Page())
+	off := b.PageOffset()
+	if cl.Minors[off] == minorMax {
+		cl.Major++
+		for i := range cl.Minors {
+			cl.Minors[i] = 0
+		}
+		cl.Minors[off] = 1
+		cs.overflows++
+		return cl.Value(off), true
+	}
+	cl.Minors[off]++
+	return cl.Value(off), false
+}
+
+// WouldOverflow reports whether the next Increment of the block's minor
+// counter would overflow. Callers that must re-encrypt the page before
+// the counters reset (the memory controller) check this first.
+func (cs *CounterStore) WouldOverflow(b addr.Block) bool {
+	cl, ok := cs.lines[b.Page()]
+	return ok && cl.Minors[b.PageOffset()] == minorMax
+}
+
+// ForceMajorRollover advances the page's major counter and zeroes all
+// minors — the counter-reset half of a page re-encryption. It counts as
+// an overflow event.
+func (cs *CounterStore) ForceMajorRollover(page uint64) {
+	cl := cs.Line(page)
+	cl.Major++
+	for i := range cl.Minors {
+		cl.Minors[i] = 0
+	}
+	cs.overflows++
+}
+
+// Overflows returns the number of page re-encryption events so far.
+func (cs *CounterStore) Overflows() uint64 { return cs.overflows }
+
+// Pages returns the number of counter lines materialized.
+func (cs *CounterStore) Pages() int { return len(cs.lines) }
+
+// Snapshot deep-copies the store (used to model the persisted PM image
+// at a crash point).
+func (cs *CounterStore) Snapshot() *CounterStore {
+	cp := NewCounterStore()
+	cp.overflows = cs.overflows
+	for page, cl := range cs.lines {
+		dup := *cl
+		cp.lines[page] = &dup
+	}
+	return cp
+}
+
+// Tamper overwrites the stored minor counter of a block — an attack
+// primitive used by the integrity tests. It reports an error if the
+// page has no materialized counters.
+func (cs *CounterStore) Tamper(b addr.Block, minor uint8) error {
+	cl, ok := cs.lines[b.Page()]
+	if !ok {
+		return fmt.Errorf("meta: no counters for page %d", b.Page())
+	}
+	cl.Minors[b.PageOffset()] = minor
+	return nil
+}
+
+// LineAddr returns the pseudo-address used to key counter lines into a
+// mem.Cache (one 64B line per page).
+func LineAddr(page uint64) uint64 { return page << addr.BlockShift }

@@ -1,0 +1,439 @@
+package nvm
+
+import (
+	"fmt"
+
+	"secpb/internal/addr"
+	"secpb/internal/bmt"
+	"secpb/internal/config"
+	"secpb/internal/crypto"
+	"secpb/internal/mem"
+	"secpb/internal/meta"
+)
+
+// Cost reports the micro-events one controller operation generated. The
+// engine converts events into cycles; the energy model converts the same
+// events into joules (Table III).
+type Cost struct {
+	CtrCacheHit   bool
+	CtrFetchPM    bool // counter line fetched from PM
+	AESOps        int  // OTP generations
+	Hashes        int  // SHA-512 computations (MAC or BMT node)
+	BMTLevels     int  // tree levels walked
+	BMTNodeFetch  int  // BMT nodes fetched from PM (BMT cache misses)
+	PMDataWrites  int  // 64B data writes to PM
+	PMMetaWrites  int  // 64B metadata writes to PM
+	PMReads       int  // 64B reads from PM
+	PageReencrypt bool
+}
+
+// Add accumulates other into c.
+func (c *Cost) Add(other Cost) {
+	c.CtrCacheHit = c.CtrCacheHit || other.CtrCacheHit
+	c.CtrFetchPM = c.CtrFetchPM || other.CtrFetchPM
+	c.AESOps += other.AESOps
+	c.Hashes += other.Hashes
+	c.BMTLevels += other.BMTLevels
+	c.BMTNodeFetch += other.BMTNodeFetch
+	c.PMDataWrites += other.PMDataWrites
+	c.PMMetaWrites += other.PMMetaWrites
+	c.PMReads += other.PMReads
+	c.PageReencrypt = c.PageReencrypt || other.PageReencrypt
+}
+
+// PreparedMeta carries memory-tuple elements a SecPB entry precomputed
+// early (at store-persist time), so the drain path reuses them instead
+// of recomputing. Architecturally these are the entry's O/Dc/C/M fields
+// with their valid bits; the authoritative metadata stores in the MC are
+// only updated when the entry drains.
+type PreparedMeta struct {
+	CounterDone bool   // counter incremented at allocation (C valid)
+	Counter     uint64 // the new counter value assigned at allocation
+	// CounterAdvance is how many increments the drain must apply to the
+	// storage counter: 1 normally (one increment per dirty entry —
+	// Section IV.A's coalescing), or the per-store count when the
+	// coalescing optimization is disabled (ablation mode). Zero means 1.
+	CounterAdvance int
+	OTPDone        bool
+	OTP            [addr.BlockBytes]byte
+	CipherDone     bool
+	Cipher         [addr.BlockBytes]byte
+	MACDone        bool
+	MAC            [crypto.MACSize]byte
+	BMTDone        bool // BMT walk already charged at allocation
+}
+
+// Controller is the memory controller: the security point of persistency
+// in baseline systems, and the tuple-completion point of SecPB drains.
+// Its metadata stores always describe the ciphertext currently in PM, so
+// integrity verification is meaningful at any instant.
+type Controller struct {
+	cfg    config.Config
+	secure bool
+
+	eng  *crypto.Engine
+	ctrs *meta.CounterStore
+	macs *meta.MACStore
+	tree *bmt.Tree
+	pm   *PM
+
+	ctrCache *mem.Cache
+	macCache *mem.Cache
+	bmtCache *mem.Cache
+	heights  *bmt.HeightModel
+	wpq      *WPQ
+
+	// onReencrypt hooks are invoked with the page number after a page
+	// re-encryption so every SecPB can invalidate prepared metadata that
+	// the counter reset made stale.
+	onReencrypt []func(page uint64)
+
+	reencrypts uint64
+}
+
+// NewController builds the controller for the given configuration. The
+// insecure BBB baseline (scheme bbb) stores plaintext and keeps no
+// metadata.
+func NewController(cfg config.Config, key []byte) (*Controller, error) {
+	c := &Controller{
+		cfg:    cfg,
+		secure: cfg.Scheme.Secure(),
+		pm:     NewPM(cfg.PMSizeBytes),
+		wpq:    NewWPQ(cfg.WPQEntries),
+	}
+	if !c.secure {
+		return c, nil
+	}
+	eng, err := crypto.NewEngine(key)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := bmt.New(eng, cfg.BMTLevels)
+	if err != nil {
+		return nil, err
+	}
+	c.eng = eng
+	c.tree = tree
+	c.ctrs = meta.NewCounterStore()
+	c.macs = meta.NewMACStore()
+	if cfg.UnifiedMDC {
+		// One shared structure with the three caches' combined capacity;
+		// associativity scales with the merge so the set count stays a
+		// power of two for any valid per-cache geometry.
+		unified := cfg.CtrCache
+		unified.SizeBytes = cfg.CtrCache.SizeBytes + cfg.MACCache.SizeBytes + cfg.BMTCache.SizeBytes
+		unified.Ways = cfg.CtrCache.Ways * 3
+		for unified.SizeBytes%(unified.Ways*unified.BlockBytes) != 0 ||
+			(unified.Sets()&(unified.Sets()-1)) != 0 {
+			unified.Ways++
+		}
+		shared := mem.NewCache("mdc$", unified)
+		c.ctrCache, c.macCache, c.bmtCache = shared, shared, shared
+	} else {
+		c.ctrCache = mem.NewCache("ctr$", cfg.CtrCache)
+		c.macCache = mem.NewCache("mac$", cfg.MACCache)
+		c.bmtCache = mem.NewCache("bmt$", cfg.BMTCache)
+	}
+	c.heights = bmt.NewHeightModel(cfg)
+	return c, nil
+}
+
+// Secure reports whether the controller runs the secure data path.
+func (c *Controller) Secure() bool { return c.secure }
+
+// PM returns the device model.
+func (c *Controller) PM() *PM { return c.pm }
+
+// Counters returns the storage-counter store (nil when insecure).
+func (c *Controller) Counters() *meta.CounterStore { return c.ctrs }
+
+// MACs returns the MAC store (nil when insecure).
+func (c *Controller) MACs() *meta.MACStore { return c.macs }
+
+// Tree returns the BMT (nil when insecure).
+func (c *Controller) Tree() *bmt.Tree { return c.tree }
+
+// Engine returns the crypto engine (nil when insecure).
+func (c *Controller) Engine() *crypto.Engine { return c.eng }
+
+// Heights returns the BMF height model (nil when insecure).
+func (c *Controller) Heights() *bmt.HeightModel { return c.heights }
+
+// WPQStats returns the ADR write-pending-queue statistics.
+func (c *Controller) WPQStats() (accepted, retired uint64, highWater int, fullHits uint64) {
+	return c.wpq.Stats()
+}
+
+// Reencrypts returns the number of page re-encryption events.
+func (c *Controller) Reencrypts() uint64 { return c.reencrypts }
+
+// SetReencryptHook registers a page re-encryption callback. Every
+// registered hook fires (one per SecPB in multi-core systems).
+func (c *Controller) SetReencryptHook(fn func(page uint64)) {
+	c.onReencrypt = append(c.onReencrypt, fn)
+}
+
+// Metadata-type tags keep counter, MAC and BMT lines from aliasing in
+// a unified metadata cache (distinct high address bits per type).
+const (
+	ctrTag = uint64(1) << 60
+	macTag = uint64(2) << 60
+	bmtTag = uint64(3) << 60
+)
+
+// touchCtrCache models a counter-cache access for the block's line.
+func (c *Controller) touchCtrCache(b addr.Block, write bool) Cost {
+	a := ctrTag | meta.LineAddr(b.CounterLine())
+	if c.ctrCache.Access(a, write, false) {
+		return Cost{CtrCacheHit: true}
+	}
+	c.ctrCache.Fill(a, write, false)
+	return Cost{CtrFetchPM: true, PMReads: 1}
+}
+
+// touchMACCache models a MAC-cache access for the block's MAC line.
+func (c *Controller) touchMACCache(b addr.Block, write bool) Cost {
+	a := macTag | meta.MACLineAddr(b)
+	if c.macCache.Access(a, write, false) {
+		return Cost{}
+	}
+	c.macCache.Fill(a, write, false)
+	return Cost{PMReads: 1}
+}
+
+// walkBMT charges a leaf-to-root walk for the block's page: BMT-cache
+// accesses for each node plus one hash per level, then updates (or
+// verifies) the functional tree. The returned cost carries the levels
+// walked under the configured BMF mode.
+func (c *Controller) walkBMT(b addr.Block, update bool) Cost {
+	page := b.CounterLine()
+	levels := c.heights.WalkLevels(page)
+	var cost Cost
+	cost.BMTLevels = levels
+	cost.Hashes += levels
+	ids := c.tree.PathNodeIDs(page)
+	for i := 0; i < levels && i < len(ids); i++ {
+		nodeAddr := bmtTag | ids[i]<<6 // distinct pseudo-address per node
+		if !c.bmtCache.Access(nodeAddr, update, false) {
+			c.bmtCache.Fill(nodeAddr, update, false)
+			cost.BMTNodeFetch++
+			cost.PMReads++
+		}
+	}
+	if update {
+		c.tree.Update(page, c.ctrs.Line(page).Bytes())
+	}
+	return cost
+}
+
+// NextCounter returns the counter value a new SecPB entry should carry:
+// the storage counter plus one. Eager schemes call this at allocation
+// and pay the counter-cache access there; the authoritative increment
+// happens at drain.
+func (c *Controller) NextCounter(b addr.Block) (value uint64, cost Cost) {
+	cost = c.touchCtrCache(b, false)
+	return c.ctrs.Value(b) + 1, cost
+}
+
+// MakeOTP generates the pad for a block under the given counter.
+func (c *Controller) MakeOTP(b addr.Block, counter uint64) ([addr.BlockBytes]byte, Cost) {
+	return c.eng.OTP(b.Addr(), counter), Cost{AESOps: 1}
+}
+
+// MakeMAC computes the tag for ciphertext under the given counter.
+func (c *Controller) MakeMAC(b addr.Block, cipher *[addr.BlockBytes]byte, counter uint64) ([crypto.MACSize]byte, Cost) {
+	return c.eng.MAC(cipher, b.Addr(), counter), Cost{Hashes: 1}
+}
+
+// ChargeBMTWalk accounts an eager BMT root update at allocation time
+// (timing/energy only; the functional tree is updated when the entry
+// drains so tree and storage counters stay consistent).
+func (c *Controller) ChargeBMTWalk(b addr.Block) Cost {
+	return c.walkBMT(b, false)
+}
+
+// pmWrite stages a block write through the ADR WPQ into the device.
+func (c *Controller) pmWrite(b addr.Block, data [addr.BlockBytes]byte) {
+	c.wpq.Accept()
+	c.pm.Write(b, data)
+	// The device drains the queue continuously; retire lazily at half
+	// occupancy to produce a realistic high-water profile.
+	if c.wpq.Occupancy() > c.wpq.Capacity()/2 {
+		c.wpq.Retire(1)
+	}
+}
+
+// PersistInsecure writes plaintext directly (BBB baseline drain).
+func (c *Controller) PersistInsecure(b addr.Block, plain [addr.BlockBytes]byte) Cost {
+	c.pmWrite(b, plain)
+	return Cost{PMDataWrites: 1}
+}
+
+// PersistBlock completes and persists the memory tuple for a draining
+// entry: (ciphertext, counter, MAC, BMT root) all become durable and
+// mutually consistent. Prepared elements are consumed instead of being
+// recomputed — the cost difference between eager and lazy schemes.
+func (c *Controller) PersistBlock(b addr.Block, plain [addr.BlockBytes]byte, prep PreparedMeta) (Cost, error) {
+	if !c.secure {
+		return c.PersistInsecure(b, plain), nil
+	}
+	var cost Cost
+
+	// Counter: apply the increment(s) to the storage counters.
+	cost.Add(c.touchCtrCache(b, true))
+	advance := prep.CounterAdvance
+	if advance <= 0 {
+		advance = 1
+	}
+	var newCtr uint64
+	for i := 0; i < advance; i++ {
+		if c.ctrs.WouldOverflow(b) {
+			reCost, err := c.reencryptPage(b)
+			cost.Add(reCost)
+			if err != nil {
+				return cost, err
+			}
+			// The overflow reset invalidates any prepared metadata.
+			prep = PreparedMeta{}
+		}
+		var overflow bool
+		newCtr, overflow = c.ctrs.Increment(b)
+		if overflow {
+			return cost, fmt.Errorf("nvm: unhandled counter overflow for block %#x", b.Addr())
+		}
+	}
+	if prep.CounterDone && prep.Counter != newCtr {
+		// Prepared metadata went stale (page re-encrypted since
+		// allocation and the SecPB missed the invalidation hook).
+		prep = PreparedMeta{}
+	}
+
+	// OTP and ciphertext.
+	var ct [addr.BlockBytes]byte
+	switch {
+	case prep.CipherDone:
+		ct = prep.Cipher
+	case prep.OTPDone:
+		crypto.XOR(&ct, &plain, &prep.OTP)
+	default:
+		otp, otpCost := c.MakeOTP(b, newCtr)
+		cost.Add(otpCost)
+		crypto.XOR(&ct, &plain, &otp)
+	}
+	c.pmWrite(b, ct)
+	cost.PMDataWrites++
+
+	// MAC.
+	var tag [crypto.MACSize]byte
+	if prep.MACDone {
+		tag = prep.MAC
+	} else {
+		var macCost Cost
+		tag, macCost = c.MakeMAC(b, &ct, newCtr)
+		cost.Add(macCost)
+	}
+	cost.Add(c.touchMACCache(b, true))
+	c.macs.Put(b, tag)
+
+	// BMT root: the functional tree always updates here (it must hash
+	// the post-increment storage counters); the walk cost is charged
+	// only if the scheme did not already pay it at allocation.
+	if prep.BMTDone {
+		c.tree.Update(b.CounterLine(), c.ctrs.Line(b.CounterLine()).Bytes())
+	} else {
+		cost.Add(c.walkBMT(b, true))
+	}
+	return cost, nil
+}
+
+// reencryptPage re-encrypts every resident block of b's page: decrypt
+// each under its current storage counter, reset happens in the caller's
+// Increment, then re-encrypt under the new counters. Counter-mode pads
+// die with their counter, so this is mandatory on overflow; the paper
+// notes counter coalescing delays it.
+func (c *Controller) reencryptPage(b addr.Block) (Cost, error) {
+	c.reencrypts++
+	var cost Cost
+	cost.PageReencrypt = true
+	page := b.Page()
+	firstIdx := page * addr.BlocksPerPage
+
+	type saved struct {
+		blk   addr.Block
+		plain [addr.BlockBytes]byte
+	}
+	var plains []saved
+	for i := uint64(0); i < addr.BlocksPerPage; i++ {
+		blk := addr.FromIndex(firstIdx + i)
+		ctOld, ok := c.pm.Peek(blk)
+		if !ok {
+			continue
+		}
+		oldCtr := c.ctrs.Value(blk)
+		plain := c.eng.Decrypt(&ctOld, blk.Addr(), oldCtr)
+		plains = append(plains, saved{blk, plain})
+		cost.AESOps++
+		cost.PMReads++
+	}
+
+	// Advance the major counter and reset minors.
+	c.ctrs.ForceMajorRollover(page)
+
+	for _, s := range plains {
+		newCtr := c.ctrs.Value(s.blk)
+		ct := c.eng.Encrypt(&s.plain, s.blk.Addr(), newCtr)
+		c.pmWrite(s.blk, ct)
+		c.macs.Put(s.blk, c.eng.MAC(&ct, s.blk.Addr(), newCtr))
+		cost.AESOps++
+		cost.Hashes++
+		cost.PMDataWrites++
+		cost.PMMetaWrites++
+	}
+	cost.Add(c.walkBMT(b, true))
+	for _, hook := range c.onReencrypt {
+		hook(page)
+	}
+	return cost, nil
+}
+
+// FetchBlock reads a block from PM on an LLC miss: decrypt under the
+// storage counter, verify the MAC, and (non-speculatively or as the
+// background check of speculative verification) verify the counter's
+// BMT path. A verification error means the PM image is corrupt or
+// stale — in a healthy run it never fires, and the attack experiments
+// assert that tampering makes it fire.
+func (c *Controller) FetchBlock(b addr.Block) ([addr.BlockBytes]byte, Cost, error) {
+	if _, written := c.pm.Peek(b); !written {
+		// Fresh media: never-written blocks read as zeros and carry no
+		// tuple yet (memory is initialized lazily on first persist).
+		return c.pm.Read(b), Cost{PMReads: 1}, nil
+	}
+	ct := c.pm.Read(b)
+	cost := Cost{PMReads: 1}
+	if !c.secure {
+		return ct, cost, nil
+	}
+	cost.Add(c.touchCtrCache(b, false))
+	ctr := c.ctrs.Value(b)
+	plain := c.eng.Decrypt(&ct, b.Addr(), ctr)
+	cost.AESOps++
+
+	wantTag, macCost := c.MakeMAC(b, &ct, ctr)
+	cost.Add(macCost)
+	cost.Add(c.touchMACCache(b, false))
+	if err := c.macs.Verify(b, wantTag); err != nil {
+		return plain, cost, fmt.Errorf("nvm: integrity failure: %w", err)
+	}
+	cost.Add(c.walkBMT(b, false))
+	page := b.CounterLine()
+	if err := c.tree.Verify(page, c.ctrs.Line(page).Bytes()); err != nil {
+		return plain, cost, fmt.Errorf("nvm: integrity failure: %w", err)
+	}
+	return plain, cost, nil
+}
+
+// MetadataCaches exposes (ctr$, mac$, bmt$) for statistics; entries are
+// nil when insecure.
+func (c *Controller) MetadataCaches() (ctr, mac, bmtc *mem.Cache) {
+	return c.ctrCache, c.macCache, c.bmtCache
+}

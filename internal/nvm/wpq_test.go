@@ -1,0 +1,66 @@
+package nvm
+
+import (
+	"testing"
+
+	"secpb/internal/addr"
+	"secpb/internal/config"
+)
+
+func TestWPQBasics(t *testing.T) {
+	w := NewWPQ(4)
+	for i := 0; i < 3; i++ {
+		w.Accept()
+	}
+	if w.Occupancy() != 3 || w.Capacity() != 4 {
+		t.Fatalf("occupancy/capacity = %d/%d", w.Occupancy(), w.Capacity())
+	}
+	w.Retire(2)
+	if w.Occupancy() != 1 {
+		t.Errorf("after retire occupancy = %d", w.Occupancy())
+	}
+	w.Retire(10) // over-retire clamps
+	if w.Occupancy() != 0 {
+		t.Errorf("over-retire occupancy = %d", w.Occupancy())
+	}
+	acc, ret, hw, full := w.Stats()
+	if acc != 3 || ret != 3 || hw != 3 || full != 0 {
+		t.Errorf("stats = %d/%d/%d/%d", acc, ret, hw, full)
+	}
+}
+
+func TestWPQBackpressure(t *testing.T) {
+	w := NewWPQ(2)
+	for i := 0; i < 5; i++ {
+		w.Accept()
+	}
+	_, _, _, full := w.Stats()
+	if full == 0 {
+		t.Error("overflow did not register backpressure")
+	}
+	if w.Occupancy() > 2 {
+		t.Errorf("occupancy %d exceeds capacity", w.Occupancy())
+	}
+}
+
+func TestWPQZeroEntries(t *testing.T) {
+	if NewWPQ(0).Capacity() != 1 {
+		t.Error("zero-entry WPQ not clamped")
+	}
+}
+
+func TestControllerRoutesWritesThroughWPQ(t *testing.T) {
+	c := secureController(t)
+	for i := uint64(0); i < 10; i++ {
+		if _, err := c.PersistBlock(addr.FromIndex(i), plainBlock(byte(i)), PreparedMeta{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc, _, hw, _ := c.WPQStats()
+	if acc != 10 {
+		t.Errorf("WPQ accepted %d writes, want 10", acc)
+	}
+	if hw == 0 || hw > config.Default().WPQEntries {
+		t.Errorf("high water = %d", hw)
+	}
+}

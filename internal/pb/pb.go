@@ -1,0 +1,232 @@
+// Package pb implements the battery-backed persist buffer of BBB
+// (Alshboul et al., HPCA'21): a small per-core coalescing buffer that is
+// the point of persistency. Stores enter the buffer in parallel with the
+// L1D; blocks drain to the memory controller when a high watermark is
+// reached (until a low watermark) or, on a crash, entirely on battery.
+//
+// The buffer is generic over a per-entry extension payload so the SecPB
+// of internal/core can attach its security-metadata fields (O, Dc, C, B,
+// M and their valid bits) without duplicating the coalescing mechanics.
+package pb
+
+import (
+	"errors"
+	"fmt"
+
+	"secpb/internal/addr"
+)
+
+// ErrFull reports that the buffer cannot accept a new block until an
+// entry drains.
+var ErrFull = errors.New("pb: buffer full")
+
+// Entry is one persist-buffer slot: a 64B data block plus bookkeeping
+// and the caller's extension payload.
+type Entry[E any] struct {
+	Block addr.Block
+	Data  [addr.BlockBytes]byte
+	// ASID tags the owning process's address space, enabling the
+	// drain-process policy for application crashes (Section III.B).
+	// The drain-all policy ignores it.
+	ASID   uint16
+	Writes int    // stores coalesced into this entry (drives NWPE)
+	Seq    uint64 // allocation sequence for FIFO draining
+	Ext    E
+}
+
+// Buffer is a coalescing persist buffer with watermark-based draining.
+type Buffer[E any] struct {
+	capacity int
+	hi, lo   int // watermark entry counts
+	entries  map[addr.Block]*Entry[E]
+	fifo     []addr.Block // allocation order (oldest first)
+	seq      uint64
+
+	allocs    uint64
+	writes    uint64
+	drains    uint64
+	writeHist []uint64 // writes-per-entry samples at drain (NWPE)
+}
+
+// New returns a buffer with the given capacity and watermark fractions
+// (0 <= lo < hi <= 1).
+func New[E any](capacity int, hiFrac, loFrac float64) (*Buffer[E], error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("pb: capacity %d must be positive", capacity)
+	}
+	if !(loFrac >= 0 && loFrac < hiFrac && hiFrac <= 1) {
+		return nil, fmt.Errorf("pb: watermarks lo=%v hi=%v invalid", loFrac, hiFrac)
+	}
+	hi := int(hiFrac * float64(capacity))
+	if hi < 1 {
+		hi = 1
+	}
+	lo := int(loFrac * float64(capacity))
+	return &Buffer[E]{
+		capacity: capacity,
+		hi:       hi,
+		lo:       lo,
+		entries:  make(map[addr.Block]*Entry[E], capacity),
+	}, nil
+}
+
+// Len returns the number of occupied entries.
+func (b *Buffer[E]) Len() int { return len(b.entries) }
+
+// Capacity returns the configured entry count.
+func (b *Buffer[E]) Capacity() int { return b.capacity }
+
+// Full reports whether no entry can be allocated.
+func (b *Buffer[E]) Full() bool { return len(b.entries) >= b.capacity }
+
+// AboveHigh reports whether occupancy has reached the high watermark
+// (draining should start).
+func (b *Buffer[E]) AboveHigh() bool { return len(b.entries) >= b.hi }
+
+// AboveLow reports whether occupancy is above the low watermark
+// (draining, once started, should continue).
+func (b *Buffer[E]) AboveLow() bool { return len(b.entries) > b.lo }
+
+// Lookup returns the entry holding the block, or nil.
+func (b *Buffer[E]) Lookup(block addr.Block) *Entry[E] {
+	return b.entries[block]
+}
+
+// Write coalesces a store of size bytes of val at byte offset off within
+// the block. If the block has no entry one is allocated, initialized
+// from fetch (the block's current contents, since the buffer is
+// memory-side and must merge partial writes); allocated reports this.
+// Write fails with ErrFull when allocation is needed but no space is
+// left — the caller must drain first.
+func (b *Buffer[E]) Write(block addr.Block, off, size int, val uint64, fetch func() [addr.BlockBytes]byte) (entry *Entry[E], allocated bool, err error) {
+	return b.WriteFor(0, block, off, size, val, fetch)
+}
+
+// WriteFor is Write with an explicit address-space tag for the
+// allocating process; a coalescing write does not re-tag the entry.
+func (b *Buffer[E]) WriteFor(asid uint16, block addr.Block, off, size int, val uint64, fetch func() [addr.BlockBytes]byte) (entry *Entry[E], allocated bool, err error) {
+	if off < 0 || size <= 0 || size > 8 || off+size > addr.BlockBytes {
+		return nil, false, fmt.Errorf("pb: invalid write off=%d size=%d", off, size)
+	}
+	e, ok := b.entries[block]
+	if !ok {
+		if b.Full() {
+			return nil, false, ErrFull
+		}
+		e = &Entry[E]{Block: block, Seq: b.seq, ASID: asid}
+		if fetch != nil {
+			e.Data = fetch()
+		}
+		b.seq++
+		b.entries[block] = e
+		b.fifo = append(b.fifo, block)
+		b.allocs++
+		allocated = true
+	}
+	for i := 0; i < size; i++ {
+		e.Data[off+i] = byte(val >> (8 * i))
+	}
+	e.Writes++
+	b.writes++
+	return e, allocated, nil
+}
+
+// Insert adopts an entry migrated from another buffer (cache-coherence
+// migration between per-core persist buffers). The entry keeps its data
+// and extension payload but receives a new allocation sequence in this
+// buffer. It fails with ErrFull when no slot is free and with an error
+// if the block is already resident (replication is forbidden).
+func (b *Buffer[E]) Insert(e *Entry[E]) error {
+	if _, ok := b.entries[e.Block]; ok {
+		return fmt.Errorf("pb: block %#x already resident (replication forbidden)", uint64(e.Block))
+	}
+	if b.Full() {
+		return ErrFull
+	}
+	e.Seq = b.seq
+	b.seq++
+	b.entries[e.Block] = e
+	b.fifo = append(b.fifo, e.Block)
+	b.allocs++
+	return nil
+}
+
+// DrainOldest removes and returns the oldest entry, or nil if empty.
+func (b *Buffer[E]) DrainOldest() *Entry[E] {
+	for len(b.fifo) > 0 {
+		block := b.fifo[0]
+		b.fifo = b.fifo[1:]
+		e, ok := b.entries[block]
+		if !ok {
+			continue // already removed (flush/invalidate)
+		}
+		delete(b.entries, block)
+		b.drains++
+		b.writeHist = append(b.writeHist, uint64(e.Writes))
+		return e
+	}
+	return nil
+}
+
+// DrainOldestWhere removes and returns the oldest entry satisfying
+// pred, or nil if none does. Non-matching entries keep their place —
+// the drain-process policy drains one process's entries in allocation
+// order without disturbing other processes' coalescing.
+func (b *Buffer[E]) DrainOldestWhere(pred func(*Entry[E]) bool) *Entry[E] {
+	for _, block := range b.fifo {
+		e, ok := b.entries[block]
+		if !ok || !pred(e) {
+			continue
+		}
+		delete(b.entries, block)
+		b.drains++
+		b.writeHist = append(b.writeHist, uint64(e.Writes))
+		return e
+	}
+	return nil
+}
+
+// Remove deletes a specific entry (coherence flush to another core, or
+// a forced eviction) and returns it, or nil if absent. The FIFO keeps a
+// stale reference that DrainOldest skips.
+func (b *Buffer[E]) Remove(block addr.Block) *Entry[E] {
+	e, ok := b.entries[block]
+	if !ok {
+		return nil
+	}
+	delete(b.entries, block)
+	b.drains++
+	b.writeHist = append(b.writeHist, uint64(e.Writes))
+	return e
+}
+
+// Entries returns the resident entries oldest-first (crash drains
+// preserve allocation order).
+func (b *Buffer[E]) Entries() []*Entry[E] {
+	out := make([]*Entry[E], 0, len(b.entries))
+	for _, block := range b.fifo {
+		if e, ok := b.entries[block]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Stats returns cumulative (allocations, writes, drains).
+func (b *Buffer[E]) Stats() (allocs, writes, drains uint64) {
+	return b.allocs, b.writes, b.drains
+}
+
+// NWPE returns the mean number of writes per drained entry — the
+// coalescing statistic the paper reports. Entries still resident are
+// not counted.
+func (b *Buffer[E]) NWPE() float64 {
+	if len(b.writeHist) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, w := range b.writeHist {
+		sum += w
+	}
+	return float64(sum) / float64(len(b.writeHist))
+}

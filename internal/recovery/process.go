@@ -1,0 +1,80 @@
+package recovery
+
+import (
+	"fmt"
+
+	"secpb/internal/addr"
+	"secpb/internal/core"
+	"secpb/internal/nvm"
+)
+
+// DrainScope selects how a detected application crash is handled
+// (Section III.B): the paper's chosen drain-all policy, or the
+// alternative drain-process policy that drains only the crashing
+// process's ASID-tagged entries (at the cost of tagging the buffer).
+type DrainScope int
+
+const (
+	// DrainAll drains and sec-syncs every entry regardless of owner —
+	// the paper's choice: simpler hardware, rare event, and no ASID
+	// tags needed.
+	DrainAll DrainScope = iota
+	// DrainProcess drains only the crashing process's entries, keeping
+	// other processes' coalescing opportunities intact.
+	DrainProcess
+)
+
+// String names the scope.
+func (s DrainScope) String() string {
+	if s == DrainAll {
+		return "drain-all"
+	}
+	return "drain-process"
+}
+
+// ProcessCrashReport describes the handling of one application crash.
+type ProcessCrashReport struct {
+	Scope          DrainScope
+	ASID           uint16
+	EntriesDrained int
+	EntriesLeft    int // other processes' entries still resident
+	DrainCost      nvm.Cost
+}
+
+// String renders a summary.
+func (r ProcessCrashReport) String() string {
+	return fmt.Sprintf("app crash (asid %d, %v): drained %d entries, %d left resident",
+		r.ASID, r.Scope, r.EntriesDrained, r.EntriesLeft)
+}
+
+// HandleAppCrash applies the selected policy to a SecPB after a detected
+// application crash, then verifies that every drained block is
+// recoverable from PM against the supplied reference view (the crashing
+// process's committed state).
+func HandleAppCrash(spb *core.SecPB, mc *nvm.Controller, asid uint16, scope DrainScope,
+	reference map[addr.Block][addr.BlockBytes]byte) (ProcessCrashReport, error) {
+	rep := ProcessCrashReport{Scope: scope, ASID: asid}
+	var err error
+	switch scope {
+	case DrainAll:
+		rep.EntriesDrained, rep.DrainCost, err = spb.CrashDrain()
+	case DrainProcess:
+		rep.EntriesDrained, rep.DrainCost, err = spb.DrainProcess(asid)
+	default:
+		return rep, fmt.Errorf("recovery: unknown drain scope %d", scope)
+	}
+	if err != nil {
+		return rep, fmt.Errorf("recovery: app-crash drain: %w", err)
+	}
+	rep.EntriesLeft = spb.Len()
+	for block, want := range reference {
+		got, _, err := mc.FetchBlock(block)
+		if err != nil {
+			return rep, fmt.Errorf("recovery: app-crash recovery of %#x: %w", block.Addr(), err)
+		}
+		if got != want {
+			return rep, fmt.Errorf("recovery: app-crash recovery of %#x: wrong plaintext", block.Addr())
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned plain-text tables in the style of the paper's
+// result tables.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowStrings appends a row of pre-formatted cells.
+func (t *Table) AddRowStrings(cells ...string) {
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// BarSeries renders a labelled horizontal bar chart — the plain-text
+// analogue of the paper's per-benchmark figures. Each label carries one
+// value per series.
+type BarSeries struct {
+	title  string
+	series []string
+	labels []string
+	values map[string][]float64
+	unit   string
+}
+
+// NewBarSeries returns a chart with the given title and series names.
+func NewBarSeries(title string, series ...string) *BarSeries {
+	return &BarSeries{title: title, series: series, values: map[string][]float64{}}
+}
+
+// SetUnit sets the value suffix (e.g. "x" for normalized execution time).
+func (b *BarSeries) SetUnit(unit string) { b.unit = unit }
+
+// Add records the values for one label, in series order. It panics if the
+// number of values does not match the number of series.
+func (b *BarSeries) Add(label string, vals ...float64) {
+	if len(vals) != len(b.series) {
+		panic(fmt.Sprintf("stats: BarSeries.Add got %d values for %d series", len(vals), len(b.series)))
+	}
+	b.labels = append(b.labels, label)
+	b.values[label] = append([]float64(nil), vals...)
+}
+
+// Labels returns the labels in insertion order.
+func (b *BarSeries) Labels() []string { return b.labels }
+
+// Value returns the value recorded for (label, series index).
+func (b *BarSeries) Value(label string, series int) float64 {
+	return b.values[label][series]
+}
+
+// String renders the chart with one bar row per (label, series) pair,
+// scaled so the largest value occupies maxBarWidth characters.
+func (b *BarSeries) String() string {
+	const maxBarWidth = 50
+	maxVal := 0.0
+	for _, vals := range b.values {
+		for _, v := range vals {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	labelWidth := 0
+	for _, l := range b.labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	seriesWidth := 0
+	for _, s := range b.series {
+		if len(s) > seriesWidth {
+			seriesWidth = len(s)
+		}
+	}
+	var sb strings.Builder
+	if b.title != "" {
+		sb.WriteString(b.title)
+		sb.WriteByte('\n')
+	}
+	for _, label := range b.labels {
+		for si, sname := range b.series {
+			v := b.values[label][si]
+			n := int(v / maxVal * maxBarWidth)
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&sb, "%-*s %-*s |%s %.3f%s\n",
+				labelWidth, label, seriesWidth, sname,
+				strings.Repeat("#", n), v, b.unit)
+		}
+		if len(b.series) > 1 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Percent formats a ratio (1.0 = baseline) as a percentage overhead
+// string like the paper's "+14.8%".
+func Percent(ratio float64) string {
+	return fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+}

@@ -1,0 +1,211 @@
+// Package stats provides lightweight statistics collection (counters,
+// histograms, means) and plain-text rendering of tables and bar-series
+// "figures" used by the experiment harness to regenerate the paper's
+// tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a named monotonic event counter.
+type Counter struct {
+	name string
+	n    uint64
+}
+
+// NewCounter returns a counter with the given name.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Name returns the counter's name.
+func (c *Counter) Name() string { return c.name }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Mean accumulates a running arithmetic mean and extrema.
+type Mean struct {
+	n        uint64
+	sum      float64
+	min, max float64
+}
+
+// Add records one observation.
+func (m *Mean) Add(v float64) {
+	if m.n == 0 {
+		m.min, m.max = v, v
+	} else {
+		if v < m.min {
+			m.min = v
+		}
+		if v > m.max {
+			m.max = v
+		}
+	}
+	m.n++
+	m.sum += v
+}
+
+// N returns the number of observations.
+func (m *Mean) N() uint64 { return m.n }
+
+// Value returns the arithmetic mean, or 0 if empty.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Sum returns the sum of observations.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Min returns the smallest observation, or 0 if empty.
+func (m *Mean) Min() float64 { return m.min }
+
+// Max returns the largest observation, or 0 if empty.
+func (m *Mean) Max() float64 { return m.max }
+
+// GeoMean computes a geometric mean of strictly positive values; zero or
+// negative observations are rejected. The paper reports average slowdowns;
+// geometric means are the conventional way to average normalized ratios.
+type GeoMean struct {
+	n      uint64
+	logSum float64
+}
+
+// Add records one observation. It returns an error for v <= 0.
+func (g *GeoMean) Add(v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("stats: geometric mean requires positive values, got %v", v)
+	}
+	g.n++
+	g.logSum += math.Log(v)
+	return nil
+}
+
+// Value returns the geometric mean, or 0 if empty.
+func (g *GeoMean) Value() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return math.Exp(g.logSum / float64(g.n))
+}
+
+// N returns the number of observations.
+func (g *GeoMean) N() uint64 { return g.n }
+
+// Histogram collects integer observations into fixed-width buckets plus
+// an overflow bucket.
+type Histogram struct {
+	width    uint64
+	buckets  []uint64
+	overflow uint64
+	count    uint64
+	sum      uint64
+}
+
+// NewHistogram returns a histogram with nbuckets buckets of the given
+// width; values >= nbuckets*width land in the overflow bucket.
+func NewHistogram(nbuckets int, width uint64) *Histogram {
+	if nbuckets <= 0 || width == 0 {
+		panic("stats: NewHistogram requires nbuckets > 0 and width > 0")
+	}
+	return &Histogram{width: width, buckets: make([]uint64, nbuckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v uint64) {
+	h.count++
+	h.sum += v
+	idx := v / h.width
+	if idx >= uint64(len(h.buckets)) {
+		h.overflow++
+		return
+	}
+	h.buckets[idx]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean observation, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Overflow returns the overflow-bucket count.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Percentile returns the smallest bucket upper bound below which at least
+// frac (0..1) of the observations fall. Overflow observations are treated
+// as one bucket past the end.
+func (h *Histogram) Percentile(frac float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(frac * float64(h.count)))
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= target {
+			return uint64(i+1) * h.width
+		}
+	}
+	return uint64(len(h.buckets)+1) * h.width
+}
+
+// Set is a string-keyed collection of counters with stable iteration
+// order, used by the engine to expose its statistics.
+type Set struct {
+	counters map[string]*Counter
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set { return &Set{counters: make(map[string]*Counter)} }
+
+// Counter returns the counter with the given name, creating it on first
+// use.
+func (s *Set) Counter(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = NewCounter(name)
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Get returns the value of the named counter (0 if absent).
+func (s *Set) Get(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Names returns the counter names in sorted order.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

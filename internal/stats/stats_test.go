@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("stores")
+	if c.Value() != 0 || c.Name() != "stores" {
+		t.Fatal("fresh counter state wrong")
+	}
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("Value = %d, want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset did not zero counter")
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatal("empty mean not zero")
+	}
+	for _, v := range []float64{2, 4, 6} {
+		m.Add(v)
+	}
+	if m.Value() != 4 {
+		t.Errorf("mean = %v, want 4", m.Value())
+	}
+	if m.Min() != 2 || m.Max() != 6 || m.N() != 3 || m.Sum() != 12 {
+		t.Errorf("min/max/n/sum = %v/%v/%v/%v", m.Min(), m.Max(), m.N(), m.Sum())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	var g GeoMean
+	if g.Value() != 0 {
+		t.Fatal("empty geomean not zero")
+	}
+	for _, v := range []float64{1, 4, 16} {
+		if err := g.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(g.Value()-4) > 1e-12 {
+		t.Errorf("geomean = %v, want 4", g.Value())
+	}
+	if err := g.Add(0); err == nil {
+		t.Error("Add(0) did not error")
+	}
+	if err := g.Add(-1); err == nil {
+		t.Error("Add(-1) did not error")
+	}
+}
+
+func TestGeoMeanAtMostArithmetic(t *testing.T) {
+	check := func(a, b, c uint16) bool {
+		x := float64(a) + 1
+		y := float64(b) + 1
+		z := float64(c) + 1
+		var g GeoMean
+		var m Mean
+		for _, v := range []float64{x, y, z} {
+			_ = g.Add(v)
+			m.Add(v)
+		}
+		return g.Value() <= m.Value()+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4, 10)
+	for _, v := range []uint64{0, 5, 9, 10, 35, 39, 40, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Bucket(0) != 3 || h.Bucket(1) != 1 || h.Bucket(3) != 2 {
+		t.Errorf("buckets = %d %d %d %d", h.Bucket(0), h.Bucket(1), h.Bucket(2), h.Bucket(3))
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow())
+	}
+	if h.Mean() != (0+5+9+10+35+39+40+1000)/8.0 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(10, 1)
+	for i := uint64(0); i < 100; i++ {
+		h.Add(i % 10)
+	}
+	if p := h.Percentile(0.5); p != 5 {
+		t.Errorf("P50 = %d, want 5", p)
+	}
+	if p := h.Percentile(1.0); p != 10 {
+		t.Errorf("P100 = %d, want 10", p)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(0,0) did not panic")
+		}
+	}()
+	NewHistogram(0, 0)
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Counter("b").Add(2)
+	s.Counter("a").Inc()
+	s.Counter("b").Inc()
+	if s.Get("a") != 1 || s.Get("b") != 3 {
+		t.Errorf("a=%d b=%d", s.Get("a"), s.Get("b"))
+	}
+	if s.Get("missing") != 0 {
+		t.Error("missing counter not zero")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Table IV", "Model", "Slowdown")
+	tab.AddRow("COBCM", "1.3%")
+	tab.AddRow("NoGap", "118.4%")
+	out := tab.String()
+	for _, want := range []string{"Table IV", "Model", "COBCM", "118.4%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tab := NewTable("", "v")
+	tab.AddRow(1.23456)
+	if !strings.Contains(tab.String(), "1.23") {
+		t.Errorf("float not formatted: %s", tab.String())
+	}
+}
+
+func TestBarSeries(t *testing.T) {
+	bs := NewBarSeries("Fig 6", "nogap", "cobcm")
+	bs.SetUnit("x")
+	bs.Add("gamess", 18.2, 1.096)
+	bs.Add("povray", 5.0, 1.01)
+	out := bs.String()
+	for _, want := range []string{"Fig 6", "gamess", "nogap", "18.200x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bar chart missing %q:\n%s", want, out)
+		}
+	}
+	if got := bs.Value("gamess", 1); got != 1.096 {
+		t.Errorf("Value = %v", got)
+	}
+	if labels := bs.Labels(); len(labels) != 2 || labels[0] != "gamess" {
+		t.Errorf("Labels = %v", labels)
+	}
+}
+
+func TestBarSeriesAddPanicsOnArity(t *testing.T) {
+	bs := NewBarSeries("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	bs.Add("l", 1.0)
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(1.148); got != "+14.8%" {
+		t.Errorf("Percent(1.148) = %q", got)
+	}
+	if got := Percent(0.9); got != "-10.0%" {
+		t.Errorf("Percent(0.9) = %q", got)
+	}
+}

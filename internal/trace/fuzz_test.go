@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseText: the text parser must never panic and must round-trip
+// whatever it accepts.
+func FuzzParseText(f *testing.F) {
+	f.Add("st 0x1000 8 0xdeadbeef gap=3")
+	f.Add("ld 0x1048 4 gap=0")
+	f.Add("fence")
+	f.Add("st 0x0 1 0xff gap=4294967295")
+	f.Add("")
+	f.Add("st zz")
+	f.Fuzz(func(t *testing.T, line string) {
+		op, err := ParseText(line)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be valid and must survive a format/
+		// parse round trip.
+		if verr := op.Validate(); verr != nil {
+			t.Fatalf("parsed invalid op %+v from %q: %v", op, line, verr)
+		}
+		again, err := ParseText(FormatText(op))
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", FormatText(op), err)
+		}
+		if again != op {
+			t.Fatalf("round trip changed op: %+v -> %+v", op, again)
+		}
+	})
+}
+
+// FuzzReader: the binary decoder must never panic on corrupt input, and
+// anything it fully decodes must re-encode.
+func FuzzReader(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewWriter(&seed)
+	w.Write(Op{Kind: Store, Addr: 0x1000, Size: 8, Data: 42, Gap: 7})
+	w.Write(Op{Kind: Load, Addr: 0x2000, Size: 4, Gap: 0})
+	w.Write(Op{Kind: Fence})
+	w.Flush()
+	f.Add(seed.Bytes())
+	f.Add([]byte("SPB1"))
+	f.Add([]byte("XXXX"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := NewReader(bytes.NewReader(data)).ReadAll()
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		for _, op := range ops {
+			if werr := w.Write(op); werr != nil {
+				t.Fatalf("decoded op %+v does not re-encode: %v", op, werr)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		ops2, err := NewReader(bytes.NewReader(out.Bytes())).ReadAll()
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(ops2) != len(ops) {
+			t.Fatalf("re-decode count %d != %d", len(ops2), len(ops))
+		}
+		for i := range ops {
+			if ops[i] != ops2[i] {
+				t.Fatalf("op %d changed across re-encode", i)
+			}
+		}
+	})
+}

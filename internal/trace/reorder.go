@@ -1,0 +1,66 @@
+package trace
+
+import "secpb/internal/xrand"
+
+// Reorder simulates a relaxed memory consistency model: stores may
+// reach the persist buffer out of program order within a bounded
+// window, as happens when the core's store buffer retires stores
+// out of order (Section IV.C.b of the paper — the case that requires
+// either a battery-backed store buffer or a lazy scheme like COBCM
+// whose metadata updates tolerate out-of-order arrival).
+//
+// Two orderings are preserved, as real hardware preserves them:
+//   - per-address program order (coherence: two stores to the same
+//     block are never swapped), and
+//   - fences are full barriers (no op crosses a Fence).
+//
+// Loads travel with their position. The transformation is deterministic
+// in seed.
+func Reorder(ops []Op, window int, seed uint64) []Op {
+	if window <= 1 {
+		out := make([]Op, len(ops))
+		copy(out, ops)
+		return out
+	}
+	r := xrand.New(seed)
+	out := make([]Op, 0, len(ops))
+	pending := make([]Op, 0, window)
+
+	flush := func() {
+		out = append(out, pending...)
+		pending = pending[:0]
+	}
+
+	for _, op := range ops {
+		if op.Kind == Fence {
+			flush()
+			out = append(out, op)
+			continue
+		}
+		// Insert op at a random legal position within the pending
+		// window: after the last op to the same block (per-address
+		// order).
+		lo := 0
+		for i := len(pending) - 1; i >= 0; i-- {
+			if pending[i].Kind != Fence && blockOf(pending[i].Addr) == blockOf(op.Addr) {
+				lo = i + 1
+				break
+			}
+		}
+		pos := lo
+		if lo < len(pending) {
+			pos = lo + r.Intn(len(pending)-lo+1)
+		}
+		pending = append(pending, Op{})
+		copy(pending[pos+1:], pending[pos:])
+		pending[pos] = op
+		if len(pending) >= window {
+			out = append(out, pending[0])
+			pending = pending[1:]
+		}
+	}
+	flush()
+	return out
+}
+
+func blockOf(a uint64) uint64 { return a &^ 63 }

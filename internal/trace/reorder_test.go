@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"testing"
+
+	"secpb/internal/xrand"
+)
+
+func reorderInput(seed uint64, n int) []Op {
+	r := xrand.New(seed)
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		if i%37 == 36 {
+			ops = append(ops, Op{Kind: Fence})
+			continue
+		}
+		ops = append(ops, Op{
+			Kind: Store,
+			Addr: uint64(r.Intn(16)) * 64, // 16 blocks, word 0
+			Size: 8,
+			Data: uint64(i),
+			Gap:  uint32(r.Intn(5)),
+		})
+	}
+	return ops
+}
+
+func TestReorderPreservesMultiset(t *testing.T) {
+	in := reorderInput(1, 500)
+	out := Reorder(in, 8, 2)
+	if len(out) != len(in) {
+		t.Fatalf("length changed: %d -> %d", len(in), len(out))
+	}
+	count := map[Op]int{}
+	for _, op := range in {
+		count[op]++
+	}
+	for _, op := range out {
+		count[op]--
+	}
+	for op, c := range count {
+		if c != 0 {
+			t.Fatalf("op %+v count off by %d", op, c)
+		}
+	}
+}
+
+func TestReorderActuallyReorders(t *testing.T) {
+	in := reorderInput(1, 500)
+	out := Reorder(in, 8, 2)
+	moved := 0
+	for i := range in {
+		if in[i] != out[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("window 8 produced the identity permutation")
+	}
+}
+
+func TestReorderPreservesPerBlockOrder(t *testing.T) {
+	in := reorderInput(3, 2000)
+	out := Reorder(in, 16, 4)
+	lastData := map[uint64]uint64{}
+	for _, op := range out {
+		if op.Kind != Store {
+			continue
+		}
+		blk := op.Addr &^ 63
+		if prev, ok := lastData[blk]; ok && op.Data < prev {
+			t.Fatalf("per-block order violated at block %#x: %d after %d", blk, op.Data, prev)
+		}
+		lastData[blk] = op.Data
+	}
+}
+
+func TestReorderFencesAreBarriers(t *testing.T) {
+	in := reorderInput(5, 1000)
+	out := Reorder(in, 32, 6)
+	// Count ops between fences: the partition sizes must match the
+	// input's (no op crosses a fence).
+	segment := func(ops []Op) []int {
+		var sizes []int
+		n := 0
+		for _, op := range ops {
+			if op.Kind == Fence {
+				sizes = append(sizes, n)
+				n = 0
+			} else {
+				n++
+			}
+		}
+		return append(sizes, n)
+	}
+	inSeg, outSeg := segment(in), segment(out)
+	if len(inSeg) != len(outSeg) {
+		t.Fatalf("fence count changed")
+	}
+	for i := range inSeg {
+		if inSeg[i] != outSeg[i] {
+			t.Fatalf("segment %d size %d -> %d: op crossed a fence", i, inSeg[i], outSeg[i])
+		}
+	}
+}
+
+func TestReorderWindowOneIsIdentity(t *testing.T) {
+	in := reorderInput(7, 200)
+	out := Reorder(in, 1, 8)
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatal("window 1 reordered")
+		}
+	}
+}
+
+func TestReorderDeterministic(t *testing.T) {
+	in := reorderInput(9, 300)
+	a := Reorder(in, 8, 11)
+	b := Reorder(in, 8, 11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

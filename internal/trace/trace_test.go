@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"secpb/internal/xrand"
+)
+
+func randomOps(seed uint64, n int) []Op {
+	r := xrand.New(seed)
+	ops := make([]Op, n)
+	for i := range ops {
+		switch r.Intn(10) {
+		case 0:
+			ops[i] = Op{Kind: Fence}
+		case 1, 2, 3:
+			size := uint8(1) << r.Intn(4)
+			ops[i] = Op{
+				Kind: Load,
+				Addr: (r.Uint64() % (1 << 30)) &^ (uint64(size) - 1),
+				Size: size,
+				Gap:  uint32(r.Intn(100)),
+			}
+		default:
+			size := uint8(1) << r.Intn(4)
+			ops[i] = Op{
+				Kind: Store,
+				Addr: (r.Uint64() % (1 << 30)) &^ (uint64(size) - 1),
+				Size: size,
+				Data: r.Uint64() >> (64 - 8*uint(size)),
+				Gap:  uint32(r.Intn(100)),
+			}
+		}
+	}
+	return ops
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	ops := randomOps(1, 5000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, op := range ops {
+		if err := w.Write(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 5000 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("read %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: got %+v want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty trace read %d ops", len(got))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("XXXX....")))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Op{Kind: Store, Addr: 0x1000, Size: 8, Data: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 5; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, err := r.Read(); err == nil {
+			t.Errorf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestWriterRejectsInvalidOp(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Write(Op{Kind: Store, Addr: 0, Size: 0}); err == nil {
+		t.Error("size-0 store accepted")
+	}
+	if err := w.Write(Op{Kind: Store, Addr: 1, Size: 8, Data: 1}); err == nil {
+		t.Error("misaligned store accepted")
+	}
+	if err := w.Write(Op{Kind: Kind(9), Size: 8}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	ops := randomOps(7, 500)
+	for _, op := range ops {
+		got, err := ParseText(FormatText(op))
+		if err != nil {
+			t.Fatalf("%q: %v", FormatText(op), err)
+		}
+		if got != op {
+			t.Fatalf("text round trip: got %+v want %+v", got, op)
+		}
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	bad := []string{
+		"", "bogus 0x1 2", "st 0x1000 8", "ld 0x1000", "st zz 8 0x0 gap=1",
+		"ld 0x1000 3 gap=x", "st 0x1001 8 0x0 gap=0",
+	}
+	for _, line := range bad {
+		if _, err := ParseText(line); err == nil {
+			t.Errorf("ParseText(%q) succeeded", line)
+		}
+	}
+}
+
+func TestOpInstructions(t *testing.T) {
+	op := Op{Kind: Load, Addr: 0, Size: 8, Gap: 9}
+	if op.Instructions() != 10 {
+		t.Errorf("Instructions = %d, want 10", op.Instructions())
+	}
+}
+
+func TestValidateProperty(t *testing.T) {
+	// Every op produced by the random generator must validate.
+	check := func(seed uint64) bool {
+		for _, op := range randomOps(seed, 50) {
+			if err := op.Validate(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	ops := randomOps(3, 10)
+	src := NewSliceSource(ops)
+	var got []Op
+	for {
+		op, ok := src.Next()
+		if !ok {
+			break
+		}
+		got = append(got, op)
+	}
+	if len(got) != 10 {
+		t.Fatalf("drained %d ops", len(got))
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("Next after exhaustion returned ok")
+	}
+	src.Reset()
+	if op, ok := src.Next(); !ok || op != ops[0] {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "ld" || Store.String() != "st" || Fence.String() != "fence" {
+		t.Error("kind mnemonics wrong")
+	}
+}
+
+func BenchmarkWriterThroughput(b *testing.B) {
+	ops := randomOps(1, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(io.Discard)
+		for _, op := range ops {
+			_ = w.Write(op)
+		}
+		_ = w.Flush()
+	}
+}
+
+func BenchmarkReaderThroughput(b *testing.B) {
+	ops := randomOps(1, 1000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, op := range ops {
+		_ = w.Write(op)
+	}
+	_ = w.Flush()
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(bytes.NewReader(raw))
+		if _, err := r.ReadAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package workload synthesizes memory-operation streams that stand in
+// for the paper's 18 SPEC CPU2006 benchmarks (SPEC is proprietary and
+// gem5 checkpoints are unavailable).
+//
+// The evaluation in the paper is driven by a small set of workload
+// statistics it reports directly — persists per kilo-instruction (PPTI),
+// writes per SecPB entry (NWPE, i.e. store coalescing), and the size of
+// the write working set relative to SecPB capacity. Each profile here is
+// parameterized to land on the paper's quoted values where given (gamess
+// PPTI 47.4 / NWPE 2.1; povray PPTI 38.8 / NWPE 17.6) and on qualitative
+// descriptions otherwise (bwaves is a streaming writer whose coalescing
+// is capacity-insensitive; gobmk has a large reuse set that benefits
+// from larger SecPBs).
+package workload
+
+import "fmt"
+
+// Pattern selects the block-reuse structure of the store stream.
+type Pattern int
+
+const (
+	// Stream writes march through new blocks and rarely return: NWPE is
+	// set by within-block burst length only and is insensitive to SecPB
+	// capacity.
+	Stream Pattern = iota
+	// Hot writes revisit a skewed (Zipf) working set: blocks are
+	// rewritten while resident, so NWPE grows when the SecPB can hold
+	// the hot set.
+	Hot
+	// Scan writes cycle through a working set in order; reuse distance
+	// equals the working-set size, making coalescing a step function of
+	// SecPB capacity.
+	Scan
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Stream:
+		return "stream"
+	case Hot:
+		return "hot"
+	case Scan:
+		return "scan"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Profile describes one synthetic benchmark.
+type Profile struct {
+	Name string
+	// StoresPerKilo is the target persist rate (the paper's PPTI).
+	StoresPerKilo float64
+	// LoadsPerKilo is the data-read rate.
+	LoadsPerKilo float64
+	// Burst is the mean number of consecutive stores to the same 64B
+	// block (within-block spatial locality). Higher burst ⇒ higher NWPE.
+	Burst int
+	// Pattern is the block-reuse structure.
+	Pattern Pattern
+	// WriteWorkingSet is the number of distinct persistent blocks the
+	// store stream cycles over.
+	WriteWorkingSet int
+	// ZipfSkew shapes Hot-pattern reuse (ignored otherwise).
+	ZipfSkew float64
+	// ReadWorkingSet is the number of distinct blocks the load stream
+	// touches (drives cache miss rates).
+	ReadWorkingSet int
+	// ReadRecentFrac is the fraction of loads directed at recently
+	// written blocks (load-after-store locality).
+	ReadRecentFrac float64
+	// NonMemCPI is the cycles the core spends per non-memory
+	// instruction: it encodes each benchmark's baseline ILP (the paper's
+	// per-benchmark baseline IPC heterogeneity; e.g. gamess runs at
+	// baseline IPC ≈ 2 while pointer-chasing codes run much lower).
+	NonMemCPI float64
+}
+
+// Validate reports the first invalid field.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile has empty name")
+	}
+	if p.StoresPerKilo <= 0 || p.StoresPerKilo > 500 {
+		return fmt.Errorf("workload: %s: StoresPerKilo %v out of (0,500]", p.Name, p.StoresPerKilo)
+	}
+	if p.LoadsPerKilo < 0 || p.LoadsPerKilo > 500 {
+		return fmt.Errorf("workload: %s: LoadsPerKilo %v out of [0,500]", p.Name, p.LoadsPerKilo)
+	}
+	if p.StoresPerKilo+p.LoadsPerKilo >= 1000 {
+		return fmt.Errorf("workload: %s: memory ops exceed instruction budget", p.Name)
+	}
+	if p.Burst <= 0 || p.Burst > 64 {
+		return fmt.Errorf("workload: %s: Burst %d out of [1,64]", p.Name, p.Burst)
+	}
+	if p.WriteWorkingSet <= 0 || p.ReadWorkingSet <= 0 {
+		return fmt.Errorf("workload: %s: working sets must be positive", p.Name)
+	}
+	if p.Pattern == Hot && p.ZipfSkew <= 0 {
+		return fmt.Errorf("workload: %s: Hot pattern requires ZipfSkew > 0", p.Name)
+	}
+	if p.ReadRecentFrac < 0 || p.ReadRecentFrac > 1 {
+		return fmt.Errorf("workload: %s: ReadRecentFrac %v out of [0,1]", p.Name, p.ReadRecentFrac)
+	}
+	if p.NonMemCPI <= 0 || p.NonMemCPI > 4 {
+		return fmt.Errorf("workload: %s: NonMemCPI %v out of (0,4]", p.Name, p.NonMemCPI)
+	}
+	return nil
+}
+
+// Profiles returns the 18 benchmark profiles in a stable order.
+//
+// Store-rate and locality calibration notes:
+//   - gamess: the paper quotes PPTI 47.4, NWPE 2.1, and "write frequency
+//     and low spatial locality" — short bursts over a streaming footprint.
+//   - povray: PPTI 38.8, NWPE 17.6 — long bursts over a small hot set.
+//   - bwaves: "does not observe a reduction in BMT root updates as the
+//     capacity increased" — pure streaming writer.
+//   - gobmk: "observes continued reduction of performance overheads as
+//     the SecPB capacity ... increases" — scan/hot set larger than the
+//     default 32-entry SecPB.
+//
+// The rest are spread over plausible SPEC-like intensities so averages
+// are taken over a realistic mix.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "perlbench", StoresPerKilo: 28, LoadsPerKilo: 90, Burst: 8, Pattern: Hot, WriteWorkingSet: 512, ZipfSkew: 0.9, ReadWorkingSet: 16384, ReadRecentFrac: 0.3, NonMemCPI: 0.5},
+		{Name: "bzip2", StoresPerKilo: 22, LoadsPerKilo: 80, Burst: 6, Pattern: Scan, WriteWorkingSet: 1024, ReadWorkingSet: 32768, ReadRecentFrac: 0.2, NonMemCPI: 0.55},
+		{Name: "gcc", StoresPerKilo: 33, LoadsPerKilo: 100, Burst: 10, Pattern: Hot, WriteWorkingSet: 2048, ZipfSkew: 0.8, ReadWorkingSet: 16384, ReadRecentFrac: 0.25, NonMemCPI: 0.5},
+		{Name: "bwaves", StoresPerKilo: 30, LoadsPerKilo: 110, Burst: 6, Pattern: Stream, WriteWorkingSet: 1 << 17, ReadWorkingSet: 1 << 15, ReadRecentFrac: 0.1, NonMemCPI: 0.45},
+		{Name: "gamess", StoresPerKilo: 47.4, LoadsPerKilo: 70, Burst: 2, Pattern: Stream, WriteWorkingSet: 1 << 16, ReadWorkingSet: 8192, ReadRecentFrac: 0.4, NonMemCPI: 0.3},
+		{Name: "mcf", StoresPerKilo: 12, LoadsPerKilo: 140, Burst: 2, Pattern: Hot, WriteWorkingSet: 1 << 15, ZipfSkew: 0.6, ReadWorkingSet: 1 << 16, ReadRecentFrac: 0.05, NonMemCPI: 0.7},
+		{Name: "milc", StoresPerKilo: 18, LoadsPerKilo: 120, Burst: 8, Pattern: Stream, WriteWorkingSet: 1 << 16, ReadWorkingSet: 1 << 15, ReadRecentFrac: 0.1, NonMemCPI: 0.5},
+		{Name: "zeusmp", StoresPerKilo: 25, LoadsPerKilo: 95, Burst: 10, Pattern: Scan, WriteWorkingSet: 4096, ReadWorkingSet: 1 << 14, ReadRecentFrac: 0.15, NonMemCPI: 0.5},
+		{Name: "gromacs", StoresPerKilo: 20, LoadsPerKilo: 85, Burst: 10, Pattern: Hot, WriteWorkingSet: 256, ZipfSkew: 1.0, ReadWorkingSet: 8192, ReadRecentFrac: 0.35, NonMemCPI: 0.45},
+		{Name: "leslie3d", StoresPerKilo: 27, LoadsPerKilo: 105, Burst: 10, Pattern: Stream, WriteWorkingSet: 1 << 16, ReadWorkingSet: 1 << 15, ReadRecentFrac: 0.1, NonMemCPI: 0.45},
+		{Name: "namd", StoresPerKilo: 10, LoadsPerKilo: 75, Burst: 8, Pattern: Hot, WriteWorkingSet: 384, ZipfSkew: 0.9, ReadWorkingSet: 4096, ReadRecentFrac: 0.3, NonMemCPI: 0.4},
+		{Name: "gobmk", StoresPerKilo: 35, LoadsPerKilo: 88, Burst: 3, Pattern: Hot, WriteWorkingSet: 1536, ZipfSkew: 0.85, ReadWorkingSet: 16384, ReadRecentFrac: 0.3, NonMemCPI: 0.6},
+		{Name: "povray", StoresPerKilo: 38.8, LoadsPerKilo: 78, Burst: 8, Pattern: Hot, WriteWorkingSet: 96, ZipfSkew: 1.1, ReadWorkingSet: 2048, ReadRecentFrac: 0.45, NonMemCPI: 0.4},
+		{Name: "hmmer", StoresPerKilo: 16, LoadsPerKilo: 95, Burst: 10, Pattern: Scan, WriteWorkingSet: 128, ReadWorkingSet: 4096, ReadRecentFrac: 0.3, NonMemCPI: 0.45},
+		{Name: "sjeng", StoresPerKilo: 14, LoadsPerKilo: 82, Burst: 5, Pattern: Hot, WriteWorkingSet: 1024, ZipfSkew: 0.7, ReadWorkingSet: 16384, ReadRecentFrac: 0.2, NonMemCPI: 0.55},
+		{Name: "libquantum", StoresPerKilo: 24, LoadsPerKilo: 115, Burst: 10, Pattern: Scan, WriteWorkingSet: 1 << 15, ReadWorkingSet: 1 << 14, ReadRecentFrac: 0.05, NonMemCPI: 0.45},
+		{Name: "h264ref", StoresPerKilo: 30, LoadsPerKilo: 92, Burst: 12, Pattern: Hot, WriteWorkingSet: 640, ZipfSkew: 0.9, ReadWorkingSet: 8192, ReadRecentFrac: 0.3, NonMemCPI: 0.45},
+		{Name: "astar", StoresPerKilo: 26, LoadsPerKilo: 98, Burst: 8, Pattern: Hot, WriteWorkingSet: 768, ZipfSkew: 0.95, ReadWorkingSet: 1 << 14, ReadRecentFrac: 0.25, NonMemCPI: 0.55},
+	}
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns the benchmark names in order.
+func Names() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}

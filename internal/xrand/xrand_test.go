@@ -1,0 +1,199 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownSequence(t *testing.T) {
+	// Reference values for seed 0 from the canonical splitmix64
+	// implementation (Vigna).
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b,
+	}
+	s := NewSplitMix64(0)
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("splitmix64[%d] = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := true
+	a = New(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical first 10 outputs")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{1, 2, 3, 7, 64, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(7)
+	const n = 10
+	const samples = 100000
+	var buckets [n]int
+	for i := 0; i < samples; i++ {
+		buckets[r.Uint64n(n)]++
+	}
+	want := samples / n
+	for i, c := range buckets {
+		if math.Abs(float64(c-want)) > 0.05*float64(want) {
+			t.Errorf("bucket %d count %d deviates >5%% from %d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(5)
+	const samples = 100000
+	hits := 0
+	for i := 0; i < samples; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / samples
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency %v, want ~0.3", p)
+	}
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		r := New(seed)
+		m := int(n%64) + 1
+		p := r.Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(9)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Errorf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(13)
+	z := NewZipf(r, 100, 1.0)
+	const samples = 200000
+	counts := make([]int, 100)
+	for i := 0; i < samples; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must dominate rank 10 by roughly 11x for s=1.
+	if counts[0] < 5*counts[10] {
+		t.Errorf("zipf not skewed: counts[0]=%d counts[10]=%d", counts[0], counts[10])
+	}
+	// All mass within domain and every early rank sampled.
+	for i := 0; i < 5; i++ {
+		if counts[i] == 0 {
+			t.Errorf("rank %d never sampled", i)
+		}
+	}
+}
+
+func TestZipfDomain(t *testing.T) {
+	r := New(17)
+	z := NewZipf(r, 7, 0.8)
+	if z.N() != 7 {
+		t.Fatalf("N() = %d, want 7", z.N())
+	}
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 7 {
+			t.Fatalf("zipf sample %d out of range", v)
+		}
+	}
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 65536, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}

@@ -1,0 +1,169 @@
+package secpb
+
+import (
+	"fmt"
+
+	"secpb/internal/addr"
+	"secpb/internal/config"
+	"secpb/internal/engine"
+	"secpb/internal/recovery"
+	"secpb/internal/trace"
+	"secpb/internal/workload"
+)
+
+// BlockSize is the granularity of persistence: one cache line.
+const BlockSize = addr.BlockBytes
+
+// Machine is an interactive simulated system: a core with a SecPB over
+// encrypted, integrity-protected persistent memory. Every store is
+// persistent (and crash recoverable) the moment the call returns —
+// strict persistency on a persistent hierarchy needs no flushes.
+//
+// A Machine is not safe for concurrent use; it models one hardware
+// thread.
+type Machine struct {
+	eng     *engine.Engine
+	crashed bool
+}
+
+// interactiveProfile supplies the CPI model for API-driven (rather than
+// trace-driven) execution.
+func interactiveProfile() workload.Profile {
+	return workload.Profile{
+		Name:            "interactive",
+		StoresPerKilo:   30,
+		LoadsPerKilo:    60,
+		Burst:           4,
+		Pattern:         workload.Stream,
+		WriteWorkingSet: 1 << 16,
+		ReadWorkingSet:  1 << 16,
+		ReadRecentFrac:  0.3,
+		NonMemCPI:       0.5,
+	}
+}
+
+// NewMachine boots a machine with the given configuration and secret
+// key material (the processor's memory-encryption key).
+func NewMachine(cfg Config, key []byte) (*Machine, error) {
+	eng, err := engine.New(cfg, interactiveProfile(), key)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{eng: eng}, nil
+}
+
+// checkAccess validates an access and returns its block offset.
+func checkAccess(byteAddr uint64, size int) error {
+	if size <= 0 || size > 8 {
+		return fmt.Errorf("secpb: access size %d out of [1,8]", size)
+	}
+	if size&(size-1) == 0 && byteAddr%uint64(size) != 0 {
+		return fmt.Errorf("secpb: address %#x not aligned to size %d", byteAddr, size)
+	}
+	return nil
+}
+
+// Store persists size bytes of val at the byte address. When Store
+// returns, the data has reached the point of persistency: it will
+// survive any subsequent crash.
+func (m *Machine) Store(byteAddr uint64, size int, val uint64) error {
+	if m.crashed {
+		return fmt.Errorf("secpb: machine has crashed; recover or boot a new one")
+	}
+	if err := checkAccess(byteAddr, size); err != nil {
+		return err
+	}
+	return m.eng.Step(trace.Op{Kind: trace.Store, Addr: byteAddr, Size: uint8(size), Data: val, Gap: 1})
+}
+
+// Load reads the 64-byte block containing the address, modeling the
+// access's timing. Reads observe the newest data (SecPB, caches or PM).
+func (m *Machine) Load(byteAddr uint64) ([BlockSize]byte, error) {
+	if m.crashed {
+		return [BlockSize]byte{}, fmt.Errorf("secpb: machine has crashed")
+	}
+	if err := m.eng.Step(trace.Op{Kind: trace.Load, Addr: byteAddr &^ 7, Size: 8, Gap: 1}); err != nil {
+		return [BlockSize]byte{}, err
+	}
+	return m.eng.Memory()[addr.BlockOf(byteAddr)], nil
+}
+
+// Fence drains the store buffer (only needed for relaxed-consistency
+// reasoning; strict persistency already orders persists).
+func (m *Machine) Fence() error {
+	if m.crashed {
+		return fmt.Errorf("secpb: machine has crashed")
+	}
+	return m.eng.Step(trace.Op{Kind: trace.Fence})
+}
+
+// Cycles returns the simulated core cycle.
+func (m *Machine) Cycles() uint64 { return m.eng.Now() }
+
+// Stats returns the run's statistics so far.
+func (m *Machine) Stats() Result { return m.eng.Collect() }
+
+// PendingEntries returns the number of SecPB entries awaiting drain —
+// the state the battery must cover at this instant.
+func (m *Machine) PendingEntries() int {
+	if spb := m.eng.SecPB(); spb != nil {
+		return spb.Len()
+	}
+	return 0
+}
+
+// CrashReport describes a crash-and-recovery episode.
+type CrashReport struct {
+	// EntriesDrained is how many SecPB entries the battery drained.
+	EntriesDrained int
+	// BlocksVerified is how many persisted blocks were recovered,
+	// decrypted and integrity-verified.
+	BlocksVerified int
+	// BatteryCycles is how long the battery powered the draining and
+	// sec-sync gaps.
+	BatteryCycles uint64
+	// Clean reports whether every block recovered to the exact
+	// persist-order state with verification passing.
+	Clean bool
+	// Detail describes the first failure when not clean.
+	Detail string
+}
+
+// Crash power-fails the machine: the battery drains the SecPB
+// (completing the scheme's deferred memory-tuple work), and recovery
+// decrypts and verifies every persisted block against the machine's
+// committed state. After Crash the machine only serves ReadRecovered.
+func (m *Machine) Crash() (CrashReport, error) {
+	if m.crashed {
+		return CrashReport{}, fmt.Errorf("secpb: machine already crashed")
+	}
+	m.crashed = true
+	obs, err := recovery.Crash(m.eng, recovery.Blocking, recovery.PowerLoss)
+	rep := CrashReport{
+		EntriesDrained: obs.Report.EntriesDrained,
+		BlocksVerified: obs.Report.BlocksChecked,
+		BatteryCycles:  obs.DrainCycles,
+		Clean:          obs.Report.Clean(),
+		Detail:         obs.Report.FirstBad,
+	}
+	if err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// ReadRecovered fetches a block from the post-crash PM image through
+// the full secure path: decrypt under the stored counter, verify the
+// MAC and the BMT. It fails if the image was tampered with.
+func (m *Machine) ReadRecovered(byteAddr uint64) ([BlockSize]byte, error) {
+	got, _, err := m.eng.Controller().FetchBlock(addr.BlockOf(byteAddr))
+	return got, err
+}
+
+// Scheme returns the machine's persistence scheme.
+func (m *Machine) Scheme() Scheme {
+	if spb := m.eng.SecPB(); spb != nil {
+		return spb.Scheme()
+	}
+	return config.SchemeSP
+}

@@ -1,0 +1,77 @@
+package pmem
+
+import "fmt"
+
+// Heap is a crash-consistent bump allocator that carves Regions out of
+// one large span of persistent memory. Its only persistent state is a
+// single cursor word (block 0 of its span), so every allocation commits
+// with one atomic 8-byte store; a crash mid-allocation loses at most
+// the unacknowledged region, never the cursor's integrity.
+//
+// Structures built with NewLog/NewMap/NewQueue can take their regions
+// from one Heap, and after a crash RecoverHeap re-derives the allocated
+// extent so a recovery routine can walk its structures.
+type Heap struct {
+	dev    Device
+	span   Region
+	cursor uint64 // next free byte offset within the span (after block 0)
+}
+
+// NewHeap formats a heap over the span.
+func NewHeap(dev Device, span Region) (*Heap, error) {
+	if err := span.Validate(); err != nil {
+		return nil, err
+	}
+	if span.Blocks() < 2 {
+		return nil, fmt.Errorf("pmem: heap span needs >= 2 blocks")
+	}
+	h := &Heap{dev: dev, span: span, cursor: BlockSize}
+	if err := dev.Store(span.Base, 8, h.cursor); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Alloc carves a region of the given byte size (rounded up to whole
+// blocks) and commits the new cursor atomically.
+func (h *Heap) Alloc(size uint64) (Region, error) {
+	if size == 0 {
+		return Region{}, fmt.Errorf("pmem: zero-size allocation")
+	}
+	size = (size + BlockSize - 1) &^ (BlockSize - 1)
+	if h.cursor+size > h.span.Size {
+		return Region{}, fmt.Errorf("pmem: heap exhausted (%d of %d bytes used)", h.cursor, h.span.Size)
+	}
+	r := Region{Base: h.span.Base + h.cursor, Size: size}
+	newCursor := h.cursor + size
+	if err := h.dev.Store(h.span.Base, 8, newCursor); err != nil {
+		return Region{}, err
+	}
+	h.cursor = newCursor
+	return r, nil
+}
+
+// Used returns the allocated bytes (including the header block).
+func (h *Heap) Used() uint64 { return h.cursor }
+
+// Free returns the unallocated bytes.
+func (h *Heap) Free() uint64 { return h.span.Size - h.cursor }
+
+// RecoverHeap reads a heap's allocated extent from a (post-crash) PM
+// image. The returned cursor tells recovery code how far the allocated
+// area extends; region boundaries within it are the application's to
+// know (they are deterministic for a deterministic allocation order).
+func RecoverHeap(read ReadFunc, span Region) (used uint64, err error) {
+	if err := span.Validate(); err != nil {
+		return 0, err
+	}
+	hdr, err := read(span.Base)
+	if err != nil {
+		return 0, fmt.Errorf("pmem: heap header failed verification: %w", err)
+	}
+	cursor := word(hdr, 0)
+	if cursor < BlockSize || cursor > span.Size {
+		return 0, fmt.Errorf("pmem: recovered heap cursor %d out of range", cursor)
+	}
+	return cursor, nil
+}

@@ -1,0 +1,192 @@
+package pmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Map is a crash-consistent open-addressing hash map from uint64 keys
+// to uint64 values. Each bucket is one block:
+//
+//	offset 0:  state (8B: empty / committed / tombstone)
+//	offset 8:  key   (8B)
+//	offset 16: value (8B)
+//
+// Insert writes key and value, then commits with one atomic 8-byte
+// store of the state word. Updates overwrite the value with a single
+// atomic store; deletes store the tombstone state atomically. Every
+// mutation is therefore crash-atomic without logging.
+type Map struct {
+	dev     Device
+	region  Region
+	buckets uint64
+	// live caches committed entries for O(1) lookups; the persistent
+	// image stays authoritative (recovery rebuilds this cache).
+	live map[uint64]uint64
+	used uint64 // committed + tombstoned buckets (probe-chain bound)
+}
+
+// Bucket state words. Nonzero magic values make torn/blank states
+// distinguishable from committed ones.
+const (
+	bucketEmpty     = 0
+	bucketCommitted = 0xC0117117ED
+	bucketTombstone = 0xDEAD7011B
+)
+
+// NewMap formats an empty map over the region. Capacity is the region's
+// block count; the map refuses to exceed 85% occupancy.
+func NewMap(dev Device, region Region) (*Map, error) {
+	m, err := layoutMap(region)
+	if err != nil {
+		return nil, err
+	}
+	m.dev = dev
+	// Format: zero every bucket's state word.
+	for i := uint64(0); i < m.buckets; i++ {
+		if err := dev.Store(m.bucketAddr(i), 8, bucketEmpty); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func layoutMap(region Region) (*Map, error) {
+	if err := region.Validate(); err != nil {
+		return nil, err
+	}
+	return &Map{
+		region:  region,
+		buckets: region.Blocks(),
+		live:    make(map[uint64]uint64),
+	}, nil
+}
+
+func (m *Map) bucketAddr(i uint64) uint64 { return m.region.Base + i*BlockSize }
+
+// hash mixes the key (splitmix64 finalizer).
+func hash(key uint64) uint64 {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Cap returns the bucket count.
+func (m *Map) Cap() uint64 { return m.buckets }
+
+// Len returns the number of committed entries.
+func (m *Map) Len() int { return len(m.live) }
+
+// findBucket probes for the key; returns (bucket index, found). When
+// not found, the index is the first insertable slot on the probe chain.
+func (m *Map) findBucket(key uint64) (uint64, bool, error) {
+	insert := uint64(0)
+	haveInsert := false
+	for probe := uint64(0); probe < m.buckets; probe++ {
+		i := (hash(key) + probe) % m.buckets
+		blk, err := m.dev.Load(m.bucketAddr(i))
+		if err != nil {
+			return 0, false, err
+		}
+		switch word(blk, 0) {
+		case bucketCommitted:
+			if word(blk, 8) == key {
+				return i, true, nil
+			}
+		case bucketTombstone:
+			if !haveInsert {
+				insert, haveInsert = i, true
+			}
+		default: // empty (or torn insert): end of probe chain
+			if !haveInsert {
+				insert, haveInsert = i, true
+			}
+			return insert, false, nil
+		}
+	}
+	if haveInsert {
+		return insert, false, nil
+	}
+	return 0, false, errors.New("pmem: map full")
+}
+
+// Put inserts or updates key -> val.
+func (m *Map) Put(key, val uint64) error {
+	if uint64(m.used)*100 >= m.buckets*85 {
+		if _, ok := m.live[key]; !ok {
+			return fmt.Errorf("pmem: map beyond 85%% occupancy (%d/%d)", m.used, m.buckets)
+		}
+	}
+	i, found, err := m.findBucket(key)
+	if err != nil {
+		return err
+	}
+	a := m.bucketAddr(i)
+	if found {
+		// Update in place: one atomic 8-byte store.
+		if err := m.dev.Store(a+16, 8, val); err != nil {
+			return err
+		}
+		m.live[key] = val
+		return nil
+	}
+	// Insert: payload first, then the atomic commit of the state word.
+	if err := m.dev.Store(a+8, 8, key); err != nil {
+		return err
+	}
+	if err := m.dev.Store(a+16, 8, val); err != nil {
+		return err
+	}
+	if err := m.dev.Store(a, 8, bucketCommitted); err != nil {
+		return err
+	}
+	m.live[key] = val
+	m.used++
+	return nil
+}
+
+// Get returns the committed value for key.
+func (m *Map) Get(key uint64) (uint64, bool) {
+	v, ok := m.live[key]
+	return v, ok
+}
+
+// Delete removes the key; a single atomic tombstone store commits it.
+func (m *Map) Delete(key uint64) error {
+	if _, ok := m.live[key]; !ok {
+		return nil
+	}
+	i, found, err := m.findBucket(key)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("pmem: live cache and image disagree on key %d", key)
+	}
+	if err := m.dev.Store(m.bucketAddr(i), 8, bucketTombstone); err != nil {
+		return err
+	}
+	delete(m.live, key)
+	return nil
+}
+
+// RecoverMap rebuilds the committed contents of a map from verified
+// reads of a (post-crash) PM image.
+func RecoverMap(read ReadFunc, region Region) (map[uint64]uint64, error) {
+	m, err := layoutMap(region)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]uint64)
+	for i := uint64(0); i < m.buckets; i++ {
+		blk, err := read(m.bucketAddr(i))
+		if err != nil {
+			return nil, fmt.Errorf("pmem: bucket %d failed verification: %w", i, err)
+		}
+		if word(blk, 0) == bucketCommitted {
+			out[word(blk, 8)] = word(blk, 16)
+		}
+	}
+	return out, nil
+}

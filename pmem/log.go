@@ -1,0 +1,146 @@
+package pmem
+
+import "fmt"
+
+// Log is an append-only record log. Block 0 of its region holds the
+// committed record count; records follow, each padded to whole blocks.
+//
+// Append writes the record's payload blocks and then commits with one
+// 8-byte store to the count — the strict-persistency commit idiom. A
+// crash between payload and commit leaves the log at its previous
+// length with the torn payload invisible.
+type Log struct {
+	dev      Device
+	region   Region
+	recBytes int
+	recBlks  uint64
+	capacity uint64
+	count    uint64
+}
+
+// NewLog formats an empty log over the region with fixed-size records
+// of recBytes (1..1024 bytes).
+func NewLog(dev Device, region Region, recBytes int) (*Log, error) {
+	l, err := layoutLog(region, recBytes)
+	if err != nil {
+		return nil, err
+	}
+	l.dev = dev
+	// Format: zero the count.
+	if err := dev.Store(region.Base, 8, 0); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// layoutLog computes geometry shared by NewLog and RecoverLog.
+func layoutLog(region Region, recBytes int) (*Log, error) {
+	if err := region.Validate(); err != nil {
+		return nil, err
+	}
+	if recBytes <= 0 || recBytes > 1024 {
+		return nil, fmt.Errorf("pmem: record size %d out of [1,1024]", recBytes)
+	}
+	recBlks := uint64((recBytes + BlockSize - 1) / BlockSize)
+	if region.Blocks() < 1+recBlks {
+		return nil, fmt.Errorf("pmem: region too small for one record")
+	}
+	return &Log{
+		region:   region,
+		recBytes: recBytes,
+		recBlks:  recBlks,
+		capacity: (region.Blocks() - 1) / recBlks,
+	}, nil
+}
+
+// Cap returns the maximum number of records.
+func (l *Log) Cap() uint64 { return l.capacity }
+
+// Len returns the committed record count.
+func (l *Log) Len() uint64 { return l.count }
+
+// recAddr returns the byte address of record i.
+func (l *Log) recAddr(i uint64) uint64 {
+	return l.region.Base + BlockSize + i*l.recBlks*BlockSize
+}
+
+// Append commits one record. The returned index is stable.
+func (l *Log) Append(rec []byte) (uint64, error) {
+	if len(rec) > l.recBytes {
+		return 0, fmt.Errorf("pmem: record %d bytes exceeds %d", len(rec), l.recBytes)
+	}
+	if l.count >= l.capacity {
+		return 0, fmt.Errorf("pmem: log full (%d records)", l.capacity)
+	}
+	buf := make([]byte, l.recBytes)
+	copy(buf, rec)
+	if err := storeBuf(l.dev, l.recAddr(l.count), buf); err != nil {
+		return 0, err
+	}
+	idx := l.count
+	l.count++
+	// Commit: a single atomic 8-byte store.
+	if err := l.dev.Store(l.region.Base, 8, l.count); err != nil {
+		l.count--
+		return 0, err
+	}
+	return idx, nil
+}
+
+// Get reads a committed record through the live device.
+func (l *Log) Get(i uint64) ([]byte, error) {
+	if i >= l.count {
+		return nil, fmt.Errorf("pmem: record %d out of range (%d committed)", i, l.count)
+	}
+	return readRecord(l.dev.Load, l.recAddr(i), l.recBytes)
+}
+
+// readRecord assembles a record from its blocks via any block reader.
+func readRecord(read ReadFunc, base uint64, recBytes int) ([]byte, error) {
+	out := make([]byte, 0, recBytes)
+	for off := 0; off < recBytes; off += BlockSize {
+		blk, err := read(base + uint64(off))
+		if err != nil {
+			return nil, err
+		}
+		n := recBytes - off
+		if n > BlockSize {
+			n = BlockSize
+		}
+		out = append(out, blk[:n]...)
+	}
+	return out, nil
+}
+
+// RecoveredLog is a read-only view of a log recovered from a PM image.
+type RecoveredLog struct {
+	read   ReadFunc
+	layout *Log
+	Count  uint64
+}
+
+// RecoverLog rebuilds the committed view of a log from verified reads
+// of the (post-crash) PM image.
+func RecoverLog(read ReadFunc, region Region, recBytes int) (*RecoveredLog, error) {
+	l, err := layoutLog(region, recBytes)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := read(region.Base)
+	if err != nil {
+		return nil, fmt.Errorf("pmem: log header failed verification: %w", err)
+	}
+	count := word(hdr, 0)
+	if count > l.capacity {
+		return nil, fmt.Errorf("pmem: recovered count %d exceeds capacity %d (corrupt header)", count, l.capacity)
+	}
+	return &RecoveredLog{read: read, layout: l, Count: count}, nil
+}
+
+// Get reads committed record i from the recovered image.
+func (r *RecoveredLog) Get(i uint64) ([]byte, error) {
+	if i >= r.Count {
+		return nil, fmt.Errorf("pmem: record %d out of recovered range %d", i, r.Count)
+	}
+	return readRecord(r.read, r.layout.recAddr(i), r.layout.recBytes)
+}

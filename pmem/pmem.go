@@ -1,0 +1,93 @@
+// Package pmem provides crash-consistent data structures built on
+// SecPB's persistent hierarchy: an append-only log, a fixed-capacity
+// hash map, and a FIFO queue.
+//
+// The structures demonstrate the paper's programmability result. With a
+// persistent hierarchy under strict persistency, a store is persistent
+// the moment it completes, and stores persist in program order — so
+// crash consistency needs no cache-line flushes, no fences and no undo
+// logging. Every structure here commits with a single 8-byte store
+// (which the hardware persists atomically) issued after its payload
+// stores; the crash observer therefore sees either the committed
+// operation in full or not at all.
+//
+// Mutation requires a live Device (a *secpb.Machine). Recovery after a
+// crash needs only verified reads of the PM image: pass
+// (*secpb.Machine).ReadRecovered as the ReadFunc.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BlockSize is the persistence granularity (one cache line).
+const BlockSize = 64
+
+// Device is the mutation interface; *secpb.Machine implements it.
+type Device interface {
+	// Store persists size bytes of val at the byte address; when it
+	// returns, the data has reached the point of persistency.
+	Store(addr uint64, size int, val uint64) error
+	// Load reads the block containing the address.
+	Load(addr uint64) ([BlockSize]byte, error)
+}
+
+// ReadFunc reads one verified block from a (possibly post-crash) PM
+// image.
+type ReadFunc func(addr uint64) ([BlockSize]byte, error)
+
+// Region is a byte range of persistent memory owned by one structure.
+type Region struct {
+	Base uint64
+	Size uint64
+}
+
+// Validate checks alignment and size.
+func (r Region) Validate() error {
+	if r.Base%BlockSize != 0 || r.Size%BlockSize != 0 {
+		return fmt.Errorf("pmem: region %#x+%#x not block aligned", r.Base, r.Size)
+	}
+	if r.Size == 0 {
+		return errors.New("pmem: empty region")
+	}
+	return nil
+}
+
+// Blocks returns the number of blocks the region spans.
+func (r Region) Blocks() uint64 { return r.Size / BlockSize }
+
+// word reads the 8-byte little-endian word at byte offset off within a
+// block image.
+func word(blk [BlockSize]byte, off int) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(blk[off+i]) << (8 * i)
+	}
+	return v
+}
+
+// storeBytes writes p (at most 8 bytes) at the address via dev.
+func storeBytes(dev Device, addr uint64, p []byte) error {
+	var v uint64
+	for i, b := range p {
+		v |= uint64(b) << (8 * i)
+	}
+	return dev.Store(addr, len(p), v)
+}
+
+// storeBuf writes an arbitrary byte slice with 8-byte stores (tail with
+// a short store). Addresses must be 8-byte aligned.
+func storeBuf(dev Device, addr uint64, p []byte) error {
+	for len(p) >= 8 {
+		if err := storeBytes(dev, addr, p[:8]); err != nil {
+			return err
+		}
+		addr += 8
+		p = p[8:]
+	}
+	if len(p) > 0 {
+		return storeBytes(dev, addr, p)
+	}
+	return nil
+}

@@ -1,0 +1,558 @@
+package pmem
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"secpb"
+	"secpb/internal/xrand"
+)
+
+func newDev(t *testing.T) *secpb.Machine {
+	t.Helper()
+	m, err := secpb.NewMachine(secpb.DefaultConfig(), []byte("pmem test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func region(base, blocks uint64) Region {
+	return Region{Base: base, Size: blocks * BlockSize}
+}
+
+func TestRegionValidate(t *testing.T) {
+	if err := (Region{Base: 1, Size: 64}).Validate(); err == nil {
+		t.Error("misaligned base accepted")
+	}
+	if err := (Region{Base: 64, Size: 1}).Validate(); err == nil {
+		t.Error("misaligned size accepted")
+	}
+	if err := (Region{Base: 64, Size: 0}).Validate(); err == nil {
+		t.Error("empty region accepted")
+	}
+	if err := region(0x1000, 4).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogBasics(t *testing.T) {
+	m := newDev(t)
+	l, err := NewLog(m, region(0x1000_0000, 64), 100) // 2 blocks per record
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Cap() != 31 {
+		t.Errorf("cap = %d, want 31 ((64-1)/2)", l.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		rec := bytes.Repeat([]byte{byte('a' + i)}, 100)
+		idx, err := l.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != uint64(i) {
+			t.Errorf("index = %d, want %d", idx, i)
+		}
+	}
+	if l.Len() != 5 {
+		t.Errorf("len = %d", l.Len())
+	}
+	got, err := l.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{'c'}, 100)) {
+		t.Error("record 2 contents wrong")
+	}
+	if _, err := l.Get(5); err == nil {
+		t.Error("out-of-range get accepted")
+	}
+	if _, err := l.Append(make([]byte, 101)); err == nil {
+		t.Error("oversize record accepted")
+	}
+}
+
+func TestLogFull(t *testing.T) {
+	m := newDev(t)
+	l, err := NewLog(m, region(0x1000_0000, 3), 64) // capacity 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("a"))
+	l.Append([]byte("b"))
+	if _, err := l.Append([]byte("c")); err == nil {
+		t.Error("append into full log accepted")
+	}
+}
+
+func TestLogRecoveryAfterCrash(t *testing.T) {
+	m := newDev(t)
+	reg := region(0x1000_0000, 128)
+	l, err := NewLog(m, reg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := m.Crash()
+	if err != nil || !rep.Clean {
+		t.Fatalf("crash: %+v err %v", rep, err)
+	}
+	rl, err := RecoverLog(m.ReadRecovered, reg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Count != 40 {
+		t.Fatalf("recovered %d records", rl.Count)
+	}
+	for i := uint64(0); i < 40; i++ {
+		rec, err := rl.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("record-%02d", i)
+		if string(rec[:len(want)]) != want {
+			t.Errorf("record %d corrupt", i)
+		}
+	}
+	if _, err := rl.Get(40); err == nil {
+		t.Error("recovered get beyond count accepted")
+	}
+}
+
+func TestMapBasics(t *testing.T) {
+	m := newDev(t)
+	hm, err := NewMap(m, region(0x2000_0000, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 30; k++ {
+		if err := hm.Put(k, k*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hm.Len() != 30 {
+		t.Errorf("len = %d", hm.Len())
+	}
+	if v, ok := hm.Get(7); !ok || v != 70 {
+		t.Errorf("Get(7) = %d,%v", v, ok)
+	}
+	// Update.
+	if err := hm.Put(7, 777); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := hm.Get(7); v != 777 {
+		t.Errorf("updated value = %d", v)
+	}
+	// Delete, then reinsert reuses the tombstone.
+	if err := hm.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := hm.Get(7); ok {
+		t.Error("deleted key still present")
+	}
+	if err := hm.Delete(7); err != nil {
+		t.Error("idempotent delete failed")
+	}
+	if err := hm.Put(7, 7777); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := hm.Get(7); v != 7777 {
+		t.Error("reinsert after delete failed")
+	}
+}
+
+func TestMapOccupancyLimit(t *testing.T) {
+	m := newDev(t)
+	hm, err := NewMap(m, region(0x2000_0000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bool
+	for k := uint64(0); k < 8; k++ {
+		if err := hm.Put(k, k); err != nil {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Error("map accepted 100% occupancy")
+	}
+	// Updates of existing keys still work at the limit.
+	if err := hm.Put(0, 99); err != nil {
+		t.Errorf("update at occupancy limit failed: %v", err)
+	}
+}
+
+func TestMapRecovery(t *testing.T) {
+	m := newDev(t)
+	reg := region(0x2000_0000, 128)
+	hm, err := NewMap(m, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]uint64{}
+	for k := uint64(1); k <= 60; k++ {
+		hm.Put(k, k*k)
+		want[k] = k * k
+	}
+	hm.Delete(10)
+	delete(want, 10)
+	hm.Put(20, 42)
+	want[20] = 42
+
+	if rep, err := m.Crash(); err != nil || !rep.Clean {
+		t.Fatalf("crash: %v", err)
+	}
+	got, err := RecoverMap(m.ReadRecovered, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %d = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestQueueBasics(t *testing.T) {
+	m := newDev(t)
+	q, err := NewQueue(m, region(0x3000_0000, 6)) // 4 slots
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 4 {
+		t.Errorf("cap = %d", q.Cap())
+	}
+	// FIFO with wrap-around: push/pop more than capacity.
+	next := 0
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 3; i++ {
+			if err := q.Push([]byte(fmt.Sprintf("msg-%03d", next))); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			rec, err := q.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fmt.Sprintf("msg-%03d", next-3+i)
+			if string(rec[:len(want)]) != want {
+				t.Fatalf("round %d pop %d = %q", round, i, rec[:len(want)])
+			}
+		}
+	}
+	if _, err := q.Pop(); err == nil {
+		t.Error("pop from empty accepted")
+	}
+	for i := 0; i < 4; i++ {
+		q.Push([]byte("x"))
+	}
+	if err := q.Push([]byte("y")); err == nil {
+		t.Error("push into full accepted")
+	}
+	if err := q.Push(make([]byte, MaxQueueRecord+1)); err == nil {
+		t.Error("oversize record accepted")
+	}
+}
+
+func TestQueueRecovery(t *testing.T) {
+	m := newDev(t)
+	reg := region(0x3000_0000, 18) // 16 slots
+	q, err := NewQueue(m, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		q.Push([]byte(fmt.Sprintf("q-%d", i)))
+	}
+	for i := 0; i < 4; i++ {
+		q.Pop()
+	}
+	if rep, err := m.Crash(); err != nil || !rep.Clean {
+		t.Fatalf("crash: %v", err)
+	}
+	rq, err := RecoverQueue(m.ReadRecovered, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.Head != 4 || rq.Tail != 10 || len(rq.Records) != 6 {
+		t.Fatalf("recovered head/tail/records = %d/%d/%d", rq.Head, rq.Tail, len(rq.Records))
+	}
+	for i, rec := range rq.Records {
+		want := fmt.Sprintf("q-%d", i+4)
+		if string(rec[:len(want)]) != want {
+			t.Errorf("record %d = %q", i, rec[:len(want)])
+		}
+	}
+}
+
+// crashDev wraps a machine and fails every store after a budget is
+// exhausted — modelling a program that dies mid-operation at an
+// arbitrary store boundary.
+type crashDev struct {
+	m      *secpb.Machine
+	budget int
+	dead   bool
+}
+
+var errDied = errors.New("program died")
+
+func (c *crashDev) Store(addr uint64, size int, val uint64) error {
+	if c.dead || c.budget <= 0 {
+		c.dead = true
+		return errDied
+	}
+	c.budget--
+	return c.m.Store(addr, size, val)
+}
+
+func (c *crashDev) Load(addr uint64) ([BlockSize]byte, error) {
+	if c.dead {
+		return [BlockSize]byte{}, errDied
+	}
+	return c.m.Load(addr)
+}
+
+func TestLogCrashAtEveryStoreBoundary(t *testing.T) {
+	// Property: for any store budget, recovery yields exactly the
+	// acknowledged appends, each intact.
+	r := xrand.New(0x106)
+	for trial := 0; trial < 12; trial++ {
+		m := newDev(t)
+		dev := &crashDev{m: m, budget: 3 + r.Intn(300)}
+		reg := region(0x1000_0000, 256)
+		l, err := NewLog(dev, reg, 120) // 2-block records: torn appends possible
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acked [][]byte
+		for i := 0; ; i++ {
+			rec := []byte(fmt.Sprintf("entry-%04d-%d", i, trial))
+			if _, err := l.Append(rec); err != nil {
+				break // died mid-append: not acknowledged
+			}
+			acked = append(acked, rec)
+		}
+		if rep, err := m.Crash(); err != nil || !rep.Clean {
+			t.Fatalf("trial %d: crash: %v", trial, err)
+		}
+		rl, err := RecoverLog(m.ReadRecovered, reg, 120)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rl.Count != uint64(len(acked)) {
+			t.Fatalf("trial %d: recovered %d, acknowledged %d", trial, rl.Count, len(acked))
+		}
+		for i, want := range acked {
+			got, err := rl.Get(uint64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got[:len(want)], want) {
+				t.Fatalf("trial %d: record %d torn", trial, i)
+			}
+		}
+	}
+}
+
+func TestMapCrashAtEveryStoreBoundary(t *testing.T) {
+	// Property: acknowledged Puts/Deletes are visible after recovery;
+	// the one in-flight operation is atomic (fully there or absent).
+	r := xrand.New(0x107)
+	for trial := 0; trial < 12; trial++ {
+		m := newDev(t)
+		dev := &crashDev{m: m, budget: 70 + r.Intn(200)}
+		reg := region(0x2000_0000, 64)
+		hm, err := NewMap(dev, reg)
+		if err != nil { // formatting itself may die
+			continue
+		}
+		want := map[uint64]uint64{}
+		var inflightKey uint64
+		alive := true
+		for i := 0; alive && i < 200; i++ {
+			k := uint64(r.Intn(40)) + 1
+			switch r.Intn(3) {
+			case 0, 1:
+				v := r.Uint64()
+				inflightKey = k
+				if err := hm.Put(k, v); err != nil {
+					alive = false
+					break
+				}
+				want[k] = v
+			case 2:
+				inflightKey = k
+				if err := hm.Delete(k); err != nil {
+					alive = false
+					break
+				}
+				delete(want, k)
+			}
+		}
+		if rep, err := m.Crash(); err != nil || !rep.Clean {
+			t.Fatalf("trial %d: crash: %v", trial, err)
+		}
+		got, err := RecoverMap(m.ReadRecovered, reg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for k, v := range want {
+			if k == inflightKey {
+				continue // the dying op may have half-applied to this key
+			}
+			gv, ok := got[k]
+			if !ok || gv != v {
+				t.Fatalf("trial %d: key %d = %d,%v want %d", trial, k, gv, ok, v)
+			}
+		}
+		for k := range got {
+			if _, ok := want[k]; !ok && k != inflightKey {
+				t.Fatalf("trial %d: ghost key %d after recovery", trial, k)
+			}
+		}
+	}
+}
+
+func TestQueueCrashAtEveryStoreBoundary(t *testing.T) {
+	r := xrand.New(0x108)
+	for trial := 0; trial < 12; trial++ {
+		m := newDev(t)
+		dev := &crashDev{m: m, budget: 20 + r.Intn(250)}
+		reg := region(0x3000_0000, 34) // 32 slots
+		q, err := NewQueue(dev, reg)
+		if err != nil {
+			continue
+		}
+		var pushed, popped int
+		alive := true
+		for i := 0; alive && i < 150; i++ {
+			if q.Len() > 0 && r.Bool(0.4) {
+				if _, err := q.Pop(); err != nil {
+					alive = false
+				} else {
+					popped++
+				}
+			} else if q.Len() < q.Cap() {
+				if err := q.Push([]byte(fmt.Sprintf("m%04d", pushed))); err != nil {
+					alive = false
+				} else {
+					pushed++
+				}
+			}
+		}
+		if rep, err := m.Crash(); err != nil || !rep.Clean {
+			t.Fatalf("trial %d: crash: %v", trial, err)
+		}
+		rq, err := RecoverQueue(m.ReadRecovered, reg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Acknowledged pushes/pops bound the recovered counters: the
+		// in-flight op may add one.
+		if rq.Tail < uint64(pushed) || rq.Tail > uint64(pushed)+1 {
+			t.Fatalf("trial %d: tail %d, acked pushes %d", trial, rq.Tail, pushed)
+		}
+		if rq.Head < uint64(popped) || rq.Head > uint64(popped)+1 {
+			t.Fatalf("trial %d: head %d, acked pops %d", trial, rq.Head, popped)
+		}
+		// Every recovered record must carry the right contents.
+		for i, rec := range rq.Records {
+			want := fmt.Sprintf("m%04d", int(rq.Head)+i)
+			if string(rec[:len(want)]) != want {
+				t.Fatalf("trial %d: slot %d = %q want %q", trial, i, rec[:len(want)], want)
+			}
+		}
+	}
+}
+
+func TestWordHelper(t *testing.T) {
+	var blk [BlockSize]byte
+	for i := 0; i < 8; i++ {
+		blk[8+i] = byte(i + 1)
+	}
+	if got := word(blk, 8); got != 0x0807060504030201 {
+		t.Errorf("word = %#x", got)
+	}
+}
+
+func TestHeapAllocAndRecover(t *testing.T) {
+	m := newDev(t)
+	span := region(0x4000_0000, 64)
+	h, err := NewHeap(m, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := h.Alloc(100) // rounds to 2 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Size != 128 || r1.Base != span.Base+BlockSize {
+		t.Errorf("r1 = %+v", r1)
+	}
+	r2, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Base != r1.Base+r1.Size {
+		t.Error("allocations not contiguous")
+	}
+	if err := r1.Validate(); err != nil {
+		t.Error(err)
+	}
+	if h.Used() != BlockSize+128+64 || h.Free() != span.Size-h.Used() {
+		t.Errorf("used/free = %d/%d", h.Used(), h.Free())
+	}
+	// Build a structure in an allocated region and survive a crash.
+	l, err := NewLog(m, r1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("heap-backed"))
+	if rep, err := m.Crash(); err != nil || !rep.Clean {
+		t.Fatalf("crash: %v", err)
+	}
+	used, err := RecoverHeap(m.ReadRecovered, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != BlockSize+128+64 {
+		t.Errorf("recovered used = %d", used)
+	}
+	rl, err := RecoverLog(m.ReadRecovered, r1, 60)
+	if err != nil || rl.Count != 1 {
+		t.Fatalf("heap-backed log recovery: count=%d err=%v", rl.Count, err)
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	m := newDev(t)
+	h, err := NewHeap(m, region(0x4000_0000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(2 * BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(1); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	if _, err := h.Alloc(0); err == nil {
+		t.Error("zero allocation accepted")
+	}
+	if _, err := NewHeap(m, region(0x5000_0000, 1)); err == nil {
+		t.Error("one-block heap accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package pmem
+
+import "fmt"
+
+// Queue is a crash-consistent FIFO ring of fixed-size records.
+// Layout: block 0 holds the head counter, block 1 the tail counter,
+// and the remaining blocks hold one record each (up to 56 bytes of
+// payload per record; the record's final 8 bytes store its sequence
+// number for recovery sanity checks).
+//
+// Push writes the record block and then commits by bumping the tail
+// with one atomic store; Pop commits by bumping the head. Counters grow
+// monotonically; slot = counter mod ring size.
+type Queue struct {
+	dev    Device
+	region Region
+	slots  uint64
+	head   uint64
+	tail   uint64
+}
+
+// MaxQueueRecord is the queue's per-record payload capacity.
+const MaxQueueRecord = BlockSize - 8
+
+// NewQueue formats an empty queue over the region.
+func NewQueue(dev Device, region Region) (*Queue, error) {
+	q, err := layoutQueue(region)
+	if err != nil {
+		return nil, err
+	}
+	q.dev = dev
+	if err := dev.Store(region.Base, 8, 0); err != nil {
+		return nil, err
+	}
+	if err := dev.Store(region.Base+BlockSize, 8, 0); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func layoutQueue(region Region) (*Queue, error) {
+	if err := region.Validate(); err != nil {
+		return nil, err
+	}
+	if region.Blocks() < 3 {
+		return nil, fmt.Errorf("pmem: queue region needs >= 3 blocks")
+	}
+	return &Queue{region: region, slots: region.Blocks() - 2}, nil
+}
+
+func (q *Queue) slotAddr(counter uint64) uint64 {
+	return q.region.Base + 2*BlockSize + (counter%q.slots)*BlockSize
+}
+
+// Len returns the number of committed, unconsumed records.
+func (q *Queue) Len() uint64 { return q.tail - q.head }
+
+// Cap returns the ring capacity.
+func (q *Queue) Cap() uint64 { return q.slots }
+
+// Push commits one record of at most MaxQueueRecord bytes.
+func (q *Queue) Push(rec []byte) error {
+	if len(rec) > MaxQueueRecord {
+		return fmt.Errorf("pmem: record %d bytes exceeds %d", len(rec), MaxQueueRecord)
+	}
+	if q.Len() >= q.slots {
+		return fmt.Errorf("pmem: queue full (%d records)", q.slots)
+	}
+	buf := make([]byte, BlockSize)
+	copy(buf, rec)
+	// Sequence stamp in the record's last word.
+	seq := q.tail + 1
+	for i := 0; i < 8; i++ {
+		buf[MaxQueueRecord+i] = byte(seq >> (8 * i))
+	}
+	if err := storeBuf(q.dev, q.slotAddr(q.tail), buf); err != nil {
+		return err
+	}
+	q.tail++
+	return q.dev.Store(q.region.Base+BlockSize, 8, q.tail) // commit
+}
+
+// Pop removes and returns the oldest record.
+func (q *Queue) Pop() ([]byte, error) {
+	if q.Len() == 0 {
+		return nil, fmt.Errorf("pmem: queue empty")
+	}
+	blk, err := q.dev.Load(q.slotAddr(q.head))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, MaxQueueRecord)
+	copy(out, blk[:MaxQueueRecord])
+	q.head++
+	if err := q.dev.Store(q.region.Base, 8, q.head); err != nil { // commit
+		q.head--
+		return nil, err
+	}
+	return out, nil
+}
+
+// RecoveredQueue is the committed view of a queue after a crash.
+type RecoveredQueue struct {
+	Head, Tail uint64
+	Records    [][]byte // the unconsumed records, oldest first
+}
+
+// RecoverQueue rebuilds the committed queue contents from verified
+// reads of a (post-crash) PM image. Every unconsumed record's sequence
+// stamp is checked against its position.
+func RecoverQueue(read ReadFunc, region Region) (*RecoveredQueue, error) {
+	q, err := layoutQueue(region)
+	if err != nil {
+		return nil, err
+	}
+	hb, err := read(region.Base)
+	if err != nil {
+		return nil, fmt.Errorf("pmem: queue head failed verification: %w", err)
+	}
+	tb, err := read(region.Base + BlockSize)
+	if err != nil {
+		return nil, fmt.Errorf("pmem: queue tail failed verification: %w", err)
+	}
+	head, tail := word(hb, 0), word(tb, 0)
+	if tail < head || tail-head > q.slots {
+		return nil, fmt.Errorf("pmem: recovered counters corrupt (head %d, tail %d)", head, tail)
+	}
+	rq := &RecoveredQueue{Head: head, Tail: tail}
+	for c := head; c < tail; c++ {
+		blk, err := read(q.slotAddr(c))
+		if err != nil {
+			return nil, fmt.Errorf("pmem: queue slot %d failed verification: %w", c, err)
+		}
+		if seq := word(blk, MaxQueueRecord); seq != c+1 {
+			return nil, fmt.Errorf("pmem: slot %d stamped %d, want %d (torn commit?)", c, seq, c+1)
+		}
+		rec := make([]byte, MaxQueueRecord)
+		copy(rec, blk[:MaxQueueRecord])
+		rq.Records = append(rq.Records, rec)
+	}
+	return rq, nil
+}

@@ -1,0 +1,71 @@
+package secpb
+
+import (
+	"fmt"
+
+	"secpb/internal/config"
+	"secpb/internal/energy"
+	"secpb/internal/engine"
+	"secpb/internal/workload"
+)
+
+// Scheme selects the persistence scheme: which memory-tuple elements
+// are generated early (at store-persist time) versus late (post-crash).
+type Scheme = config.Scheme
+
+// The evaluated schemes, eager to lazy. BBB is the insecure baseline
+// and SP the secure strict-persistency baseline with the security point
+// of persistency at the memory controller.
+const (
+	SchemeBBB   = config.SchemeBBB
+	SchemeSP    = config.SchemeSP
+	SchemeNoGap = config.SchemeNoGap
+	SchemeM     = config.SchemeM
+	SchemeCM    = config.SchemeCM
+	SchemeBCM   = config.SchemeBCM
+	SchemeOBCM  = config.SchemeOBCM
+	SchemeCOBCM = config.SchemeCOBCM
+)
+
+// Schemes returns the six SecPB design points from eager to lazy.
+func Schemes() []Scheme { return config.SecPBSchemes() }
+
+// Config holds every simulated system parameter (the paper's Table I).
+type Config = config.Config
+
+// DefaultConfig returns the paper's Table I configuration: a 32-entry
+// SecPB running COBCM over an 8-level BMT and PCM at 55/150 ns.
+func DefaultConfig() Config { return config.Default() }
+
+// Result summarizes a simulation run: cycles, IPC, the paper's PPTI and
+// NWPE statistics, stall breakdowns and memory-system counters.
+type Result = engine.Result
+
+// Benchmarks returns the names of the 18 built-in SPEC2006-like
+// workload profiles.
+func Benchmarks() []string { return workload.Names() }
+
+// RunBenchmark simulates ops memory operations of the named benchmark
+// profile under cfg. Runs are deterministic in (benchmark, cfg.Seed).
+func RunBenchmark(cfg Config, benchmark string, ops uint64) (Result, error) {
+	prof, err := workload.ByName(benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	return engine.RunBenchmark(cfg, prof, ops)
+}
+
+// Battery is a worst-case crash-drain energy estimate with the derived
+// supercapacitor / lithium-thin-film volumes and core-area ratios.
+type Battery = energy.Estimate
+
+// BatteryFor returns the battery a SecPB of the given size needs under
+// the given scheme (the paper's Table V/VI methodology).
+func BatteryFor(scheme Scheme, entries int) (Battery, error) {
+	cfg := config.Default()
+	j, err := energy.SecPBEnergy(scheme, entries, cfg.BMTLevels)
+	if err != nil {
+		return Battery{}, err
+	}
+	return energy.EstimateFor(fmt.Sprintf("%v-%d", scheme, entries), j), nil
+}

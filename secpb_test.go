@@ -1,0 +1,207 @@
+package secpb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicBenchmarkRun(t *testing.T) {
+	res, err := RunBenchmark(DefaultConfig(), "povray", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Stores == 0 {
+		t.Errorf("empty result: %+v", res)
+	}
+	if _, err := RunBenchmark(DefaultConfig(), "not-a-benchmark", 10); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestPublicBenchmarkList(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 18 {
+		t.Fatalf("benchmarks = %d", len(names))
+	}
+	if len(Schemes()) != 6 {
+		t.Fatalf("schemes = %d", len(Schemes()))
+	}
+}
+
+func TestMachineStoreLoadRoundTrip(t *testing.T) {
+	m, err := NewMachine(DefaultConfig(), []byte("api test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store(0x1000, 8, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store(0x1008, 4, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := m.Load(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk[0] != 0x88 || blk[7] != 0x11 || blk[8] != 0xFE || blk[9] != 0xCA {
+		t.Errorf("block contents wrong: % x", blk[:12])
+	}
+	if m.Cycles() == 0 {
+		t.Error("no time passed")
+	}
+	if m.Scheme() != SchemeCOBCM {
+		t.Errorf("scheme = %v", m.Scheme())
+	}
+}
+
+func TestMachineAccessValidation(t *testing.T) {
+	m, _ := NewMachine(DefaultConfig(), []byte("k"))
+	if err := m.Store(0x1001, 8, 1); err == nil {
+		t.Error("misaligned store accepted")
+	}
+	if err := m.Store(0x1000, 0, 1); err == nil {
+		t.Error("zero-size store accepted")
+	}
+	if err := m.Store(0x1000, 9, 1); err == nil {
+		t.Error("oversize store accepted")
+	}
+}
+
+func TestMachineCrashRecover(t *testing.T) {
+	m, err := NewMachine(DefaultConfig(), []byte("crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if err := m.Store(0x4000+i*8, 8, 0xF00D+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.PendingEntries() == 0 {
+		t.Fatal("nothing pending before crash")
+	}
+	rep, err := m.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		t.Fatalf("recovery not clean: %s", rep.Detail)
+	}
+	if rep.BlocksVerified == 0 || rep.BatteryCycles == 0 {
+		t.Errorf("report: %+v", rep)
+	}
+	// Post-crash reads go through decrypt+verify.
+	blk, err := m.ReadRecovered(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk[0] != 0x0D || blk[1] != 0xF0 {
+		t.Errorf("recovered data wrong: % x", blk[:2])
+	}
+	// The machine refuses further execution.
+	if err := m.Store(0x4000, 8, 1); err == nil {
+		t.Error("store on crashed machine accepted")
+	}
+	if _, err := m.Load(0x4000); err == nil {
+		t.Error("load on crashed machine accepted")
+	}
+	if err := m.Fence(); err == nil {
+		t.Error("fence on crashed machine accepted")
+	}
+	if _, err := m.Crash(); err == nil {
+		t.Error("double crash accepted")
+	}
+}
+
+func TestMachineAllSchemes(t *testing.T) {
+	for _, scheme := range Schemes() {
+		m, err := NewMachine(DefaultConfig().WithScheme(scheme), []byte("k"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 40; i++ {
+			if err := m.Store(0x9000+i*16, 8, i); err != nil {
+				t.Fatalf("%v: %v", scheme, err)
+			}
+		}
+		rep, err := m.Crash()
+		if err != nil || !rep.Clean {
+			t.Fatalf("%v: crash = %+v, err %v", scheme, rep, err)
+		}
+	}
+}
+
+func TestBatteryFor(t *testing.T) {
+	lazy, err := BatteryFor(SchemeCOBCM, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := BatteryFor(SchemeNoGap, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.SuperCapMM3 <= eager.SuperCapMM3 {
+		t.Errorf("lazy battery %.2f not bigger than eager %.2f", lazy.SuperCapMM3, eager.SuperCapMM3)
+	}
+	if !strings.Contains(lazy.Name, "cobcm") {
+		t.Errorf("name = %q", lazy.Name)
+	}
+	if _, err := BatteryFor(SchemeSP, 32); err == nil {
+		t.Error("SP battery accepted")
+	}
+}
+
+func TestMachineFenceAndStats(t *testing.T) {
+	m, _ := NewMachine(DefaultConfig().WithScheme(SchemeNoGap), []byte("k"))
+	m.Store(0x100, 8, 1)
+	if err := m.Fence(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Stores != 1 {
+		t.Errorf("stats stores = %d", st.Stores)
+	}
+}
+
+func TestMachineGapCrashCorrupts(t *testing.T) {
+	m, err := NewMachine(DefaultConfig(), []byte("gap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 60; i++ {
+		if err := m.Store(0x7000+i*64, 8, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := m.SimulateGapCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean {
+		t.Fatal("the recoverability gap recovered cleanly — it must corrupt")
+	}
+	if _, err := m.SimulateGapCrash(); err == nil {
+		t.Error("double gap crash accepted")
+	}
+}
+
+func TestMachineAttacksDetected(t *testing.T) {
+	for _, a := range Attacks() {
+		m, err := NewMachine(DefaultConfig(), []byte("atk"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 50; i++ {
+			if err := m.Store(0x8000+i*64, 8, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		detected, err := m.AttackAndDetect(a, 0x8000)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if !detected {
+			t.Errorf("attack %v undetected through public API", a)
+		}
+	}
+}
