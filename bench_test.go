@@ -11,9 +11,11 @@ import (
 	"testing"
 
 	"secpb/internal/config"
+	"secpb/internal/crypto"
 	"secpb/internal/energy"
 	"secpb/internal/engine"
 	"secpb/internal/harness"
+	"secpb/internal/trace"
 	"secpb/internal/workload"
 )
 
@@ -149,3 +151,84 @@ func BenchmarkEngineBBB(b *testing.B)   { benchEngine(b, config.SchemeBBB) }
 func BenchmarkEngineCOBCM(b *testing.B) { benchEngine(b, config.SchemeCOBCM) }
 func BenchmarkEngineNoGap(b *testing.B) { benchEngine(b, config.SchemeNoGap) }
 func BenchmarkEngineSP(b *testing.B)    { benchEngine(b, config.SchemeSP) }
+
+// Hot-path micro-benchmarks: per-operation cost of the engine's store
+// and load paths and of OTP generation, independent of workload mix.
+
+func newBenchEngine(b *testing.B, scheme config.Scheme) *engine.Engine {
+	b.Helper()
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := engine.New(config.Default().WithScheme(scheme), prof, []byte("bench-key"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkEngineStore measures one store through the COBCM fast path:
+// program-view update, SecPB acceptance with early tuple work, and the
+// cycle accounting — the per-op cost every sweep pays most often.
+func BenchmarkEngineStore(b *testing.B) {
+	eng := newBenchEngine(b, config.SchemeCOBCM)
+	const ws = 1 << 16 // 64 KiB write working set
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := trace.Op{Kind: trace.Store, Addr: uint64(i*8) % ws, Size: 8, Data: uint64(i), Gap: 3}
+		if err := eng.Step(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineLoad measures one load (mixed L1/SecPB/PM hits) after
+// priming the working set with stores.
+func BenchmarkEngineLoad(b *testing.B) {
+	eng := newBenchEngine(b, config.SchemeCOBCM)
+	const ws = 1 << 16
+	for i := 0; i < ws/8; i++ {
+		op := trace.Op{Kind: trace.Store, Addr: uint64(i * 8), Size: 8, Data: uint64(i), Gap: 3}
+		if err := eng.Step(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := trace.Op{Kind: trace.Load, Addr: uint64(i*328) % ws, Size: 8, Gap: 3}
+		if err := eng.Step(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOTPGen measures one 64-byte one-time-pad generation (four AES
+// block encryptions) — the crypto engine's hottest primitive.
+func BenchmarkOTPGen(b *testing.B) {
+	e, err := crypto.NewEngine([]byte("bench-key"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		pad := e.OTP(uint64(i)<<6, uint64(i))
+		sink ^= pad[0]
+	}
+	_ = sink
+}
+
+// BenchmarkTable4Grid measures the wall-clock of a reduced Table IV
+// sweep — the experiment-level number the parallel runner targets.
+func BenchmarkTable4Grid(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.Table4(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -16,9 +16,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"secpb/internal/config"
 	"secpb/internal/harness"
+	"secpb/internal/runner"
 )
 
 var allExperiments = []string{
@@ -28,23 +31,33 @@ var allExperiments = []string{
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiments: all or comma list of "+strings.Join(allExperiments, ","))
-		ops     = flag.Uint64("ops", 100_000, "memory operations per benchmark per configuration")
-		benches = flag.String("bench", "", "comma list of benchmarks (default: all 18)")
-		entries = flag.Int("secpb", 32, "SecPB entries for the default configuration")
-		verbose = flag.Bool("v", false, "print per-simulation progress")
-		asJSON  = flag.Bool("json", false, "emit machine-readable JSON instead of rendered text")
+		exp      = flag.String("exp", "all", "experiments: all or comma list of "+strings.Join(allExperiments, ","))
+		ops      = flag.Uint64("ops", 100_000, "memory operations per benchmark per configuration")
+		benches  = flag.String("bench", "", "comma list of benchmarks (default: all 18)")
+		entries  = flag.Int("secpb", 32, "SecPB entries for the default configuration")
+		parallel = flag.Int("parallel", 0, "simulation workers (0 = one per CPU core, 1 = serial); output is identical at any value")
+		verbose  = flag.Bool("v", false, "print per-simulation progress")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of rendered text")
+		timing   = flag.String("timing", "", "write per-experiment wall-clock timings as JSON to this file")
 	)
 	flag.Parse()
 
 	opt := harness.DefaultOptions()
 	opt.Ops = *ops
 	opt.Cfg = config.Default().WithSecPBEntries(*entries)
+	opt.Parallelism = *parallel
 	if *benches != "" {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}
 	if *verbose {
-		opt.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  "+msg) }
+		// Simulations run concurrently under -parallel; serialize the
+		// progress lines so they never interleave mid-line.
+		var progressMu sync.Mutex
+		opt.Progress = func(msg string) {
+			progressMu.Lock()
+			defer progressMu.Unlock()
+			fmt.Fprintln(os.Stderr, "  "+msg)
+		}
 	}
 
 	want := map[string]bool{}
@@ -59,13 +72,17 @@ func main() {
 	}
 
 	jsonOut := map[string]interface{}{}
+	timings := map[string]float64{}
+	startAll := time.Now()
 	run := func(name string, fn func() (fmt.Stringer, interface{}, error)) {
 		if !want[name] {
 			return
 		}
 		delete(want, name)
 		fmt.Fprintf(os.Stderr, "== %s (ops=%d) ==\n", name, opt.Ops)
+		start := time.Now()
 		art, raw, err := fn()
+		timings[name] = time.Since(start).Seconds()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "secpb-bench: %s: %v\n", name, err)
 			os.Exit(1)
@@ -134,6 +151,26 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "secpb-bench: encoding JSON: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *timing != "" {
+		workers := *parallel
+		if workers <= 0 {
+			workers = runner.DefaultWorkers()
+		}
+		report := map[string]interface{}{
+			"ops":           *ops,
+			"parallelism":   workers,
+			"experiments_s": timings,
+			"total_s":       time.Since(startAll).Seconds(),
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*timing, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secpb-bench: writing timing report: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -54,6 +54,10 @@ type Tree struct {
 	defaults []Digest // default node hash per level
 	root     Digest
 	updates  uint64 // leaf-to-root update walks performed
+	// nodeBuf is the reusable child-concatenation buffer for hashChildren;
+	// a stack array would escape through the Hasher interface call and
+	// cost one heap allocation per node hash on the drain path.
+	nodeBuf [Arity * DigestSize]byte
 }
 
 // New builds an empty tree of the given height (number of hash levels
@@ -110,12 +114,11 @@ func (t *Tree) node(level int, idx uint64) Digest {
 // hashChildren hashes the Arity children of parentIdx, whose children
 // live at childLevel, taking stored values or level defaults.
 func (t *Tree) hashChildren(parentIdx uint64, childLevel int) Digest {
-	var buf [Arity * DigestSize]byte
 	for i := uint64(0); i < Arity; i++ {
 		c := t.node(childLevel, parentIdx*Arity+i)
-		copy(buf[i*DigestSize:], c[:])
+		copy(t.nodeBuf[i*DigestSize:], c[:])
 	}
-	return truncate(t.h.HashNode(buf[:]))
+	return truncate(t.h.HashNode(t.nodeBuf[:]))
 }
 
 // leafIndex maps a counter-line (page) index onto the leaf space.
@@ -171,14 +174,20 @@ func (t *Tree) Verify(page uint64, counterLine []byte) error {
 // leaf-to-root path (excluding the root register). The engine keys these
 // into the BMT metadata cache for timing.
 func (t *Tree) PathNodeIDs(page uint64) []uint64 {
-	ids := make([]uint64, 0, t.height)
+	return t.AppendPathNodeIDs(make([]uint64, 0, t.height), page)
+}
+
+// AppendPathNodeIDs appends the path node identifiers to dst and returns
+// the extended slice, letting hot-path callers reuse a scratch slice
+// instead of allocating per walk.
+func (t *Tree) AppendPathNodeIDs(dst []uint64, page uint64) []uint64 {
 	idx := t.leafIndex(page)
 	for l := 0; l < t.height; l++ {
 		// Pack (level, index) into one word; level in the top bits.
-		ids = append(ids, uint64(l)<<56|idx)
+		dst = append(dst, uint64(l)<<56|idx)
 		idx /= Arity
 	}
-	return ids
+	return dst
 }
 
 // Tamper overwrites a stored node hash (attack primitive for tests). It

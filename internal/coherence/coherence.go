@@ -152,13 +152,12 @@ func (s *System) Store(id int, byteAddr uint64, size int, val uint64) error {
 			return err
 		}
 	}
-	snapshot := cur
-	_, err := s.cores[id].AcceptStore(block, off, size, val, func() [addr.BlockBytes]byte { return snapshot })
+	_, err := s.cores[id].AcceptStoreInit(0, block, off, size, val, &cur, 0)
 	if errors.Is(err, pb.ErrFull) {
 		if err := s.makeRoom(id); err != nil {
 			return err
 		}
-		_, err = s.cores[id].AcceptStore(block, off, size, val, func() [addr.BlockBytes]byte { return snapshot })
+		_, err = s.cores[id].AcceptStoreInit(0, block, off, size, val, &cur, 0)
 	}
 	if err != nil {
 		return err

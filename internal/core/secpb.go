@@ -174,6 +174,27 @@ func (s *SecPB) AcceptStoreFor(asid uint16, b addr.Block, off, size int, val uin
 	if err != nil {
 		return AcceptCost{}, err
 	}
+	return s.acceptEntry(entry, allocated, b)
+}
+
+// AcceptStoreInit is the closure-free hot-path form of AcceptStoreFor:
+// init, if non-nil, points at the block's current contents (copied only
+// on allocation), and allocAt stamps the new entry's point-of-persistency
+// cycle for the battery-exposure histogram.
+func (s *SecPB) AcceptStoreInit(asid uint16, b addr.Block, off, size int, val uint64, init *[addr.BlockBytes]byte, allocAt uint64) (AcceptCost, error) {
+	entry, allocated, err := s.buf.WriteInit(asid, b, off, size, val, init)
+	if err != nil {
+		return AcceptCost{}, err
+	}
+	if allocated {
+		entry.AllocCycle = allocAt
+	}
+	return s.acceptEntry(entry, allocated, b)
+}
+
+// acceptEntry performs the scheme's early security-metadata work for a
+// store just coalesced into entry.
+func (s *SecPB) acceptEntry(entry *Entry, allocated bool, b addr.Block) (AcceptCost, error) {
 	s.stores++
 	cost := AcceptCost{Allocated: allocated}
 	if allocated {

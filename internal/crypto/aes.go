@@ -9,7 +9,10 @@
 // and must never be used to protect real data.
 package crypto
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // BlockSize is the AES block size in bytes.
 const BlockSize = 16
@@ -19,6 +22,12 @@ var (
 	invSbox [256]byte
 	// Round-constant words for key expansion.
 	rcon = [11]byte{0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36}
+	// Encryption T-tables: each combines SubBytes with the byte's
+	// MixColumns contribution at one row position, so a round is 16
+	// lookups and XORs instead of per-byte matrix arithmetic. Built in
+	// init from the generated S-box; the equivalence test checks the
+	// table path against the matrix path (and both against stdlib).
+	te0, te1, te2, te3 [256]uint32
 )
 
 func init() {
@@ -48,6 +57,15 @@ func init() {
 	for i := 0; i < 256; i++ {
 		invSbox[sbox[i]] = byte(i)
 	}
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := xtime(s)
+		s3 := s2 ^ s
+		te0[i] = uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te1[i] = uint32(s3)<<24 | uint32(s2)<<16 | uint32(s)<<8 | uint32(s)
+		te2[i] = uint32(s)<<24 | uint32(s3)<<16 | uint32(s2)<<8 | uint32(s)
+		te3[i] = uint32(s)<<24 | uint32(s)<<16 | uint32(s3)<<8 | uint32(s2)
+	}
 }
 
 func mulBranch(p byte) byte {
@@ -75,9 +93,11 @@ func gmul(a, b byte) byte {
 	return p
 }
 
-// Cipher is an AES block cipher with an expanded key schedule.
+// Cipher is an AES block cipher with an expanded key schedule. A Cipher
+// is immutable after construction and safe for concurrent use.
 type Cipher struct {
-	enc    [][4][4]byte // round keys as 4x4 state matrices (column major)
+	encW   [60]uint32     // round-key words (big-endian columns), encrypt path
+	enc    [15][4][4]byte // round keys as 4x4 state matrices, decrypt path
 	rounds int
 }
 
@@ -120,13 +140,15 @@ func (c *Cipher) expandKey(key []byte) {
 			w[i][j] = w[i-nk][j] ^ t[j]
 		}
 	}
-	c.enc = make([][4][4]byte, c.rounds+1)
 	for r := 0; r <= c.rounds; r++ {
 		for col := 0; col < 4; col++ {
 			for row := 0; row < 4; row++ {
 				c.enc[r][row][col] = w[4*r+col][row]
 			}
 		}
+	}
+	for i := 0; i < nw; i++ {
+		c.encW[i] = uint32(w[i][0])<<24 | uint32(w[i][1])<<16 | uint32(w[i][2])<<8 | uint32(w[i][3])
 	}
 }
 
@@ -215,9 +237,41 @@ func (s *state) invMixColumns() {
 	}
 }
 
-// Encrypt encrypts one 16-byte block from src into dst. dst and src may
-// overlap. It panics if either slice is shorter than BlockSize.
+// Encrypt encrypts one 16-byte block from src into dst via the T-table
+// fast path. dst and src may overlap. It panics if either slice is
+// shorter than BlockSize.
 func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("crypto: AES input not full block")
+	}
+	s0 := binary.BigEndian.Uint32(src[0:4]) ^ c.encW[0]
+	s1 := binary.BigEndian.Uint32(src[4:8]) ^ c.encW[1]
+	s2 := binary.BigEndian.Uint32(src[8:12]) ^ c.encW[2]
+	s3 := binary.BigEndian.Uint32(src[12:16]) ^ c.encW[3]
+	k := 4
+	for r := 1; r < c.rounds; r++ {
+		t0 := te0[s0>>24] ^ te1[s1>>16&0xff] ^ te2[s2>>8&0xff] ^ te3[s3&0xff] ^ c.encW[k]
+		t1 := te0[s1>>24] ^ te1[s2>>16&0xff] ^ te2[s3>>8&0xff] ^ te3[s0&0xff] ^ c.encW[k+1]
+		t2 := te0[s2>>24] ^ te1[s3>>16&0xff] ^ te2[s0>>8&0xff] ^ te3[s1&0xff] ^ c.encW[k+2]
+		t3 := te0[s3>>24] ^ te1[s0>>16&0xff] ^ te2[s1>>8&0xff] ^ te3[s2&0xff] ^ c.encW[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+	d0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xff])<<16 | uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3&0xff])
+	d1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xff])<<16 | uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0&0xff])
+	d2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xff])<<16 | uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1&0xff])
+	d3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xff])<<16 | uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2&0xff])
+	binary.BigEndian.PutUint32(dst[0:4], d0^c.encW[k])
+	binary.BigEndian.PutUint32(dst[4:8], d1^c.encW[k+1])
+	binary.BigEndian.PutUint32(dst[8:12], d2^c.encW[k+2])
+	binary.BigEndian.PutUint32(dst[12:16], d3^c.encW[k+3])
+}
+
+// encryptGeneric is the straightforward matrix implementation of the
+// cipher, kept as an independent reference for the T-table fast path
+// (the equivalence test runs both over random blocks).
+func (c *Cipher) encryptGeneric(dst, src []byte) {
 	if len(src) < BlockSize || len(dst) < BlockSize {
 		panic("crypto: AES input not full block")
 	}

@@ -71,6 +71,34 @@ func TestAESMatchesStdlib(t *testing.T) {
 	}
 }
 
+// TestAESTableMatchesGeneric cross-checks the T-table encrypt fast path
+// against the independent matrix implementation for all key sizes.
+func TestAESTableMatchesGeneric(t *testing.T) {
+	r := xrand.New(7)
+	for trial := 0; trial < 300; trial++ {
+		keyLen := []int{16, 24, 32}[trial%3]
+		key := make([]byte, keyLen)
+		src := make([]byte, 16)
+		for i := range key {
+			key[i] = byte(r.Uint64())
+		}
+		for i := range src {
+			src[i] = byte(r.Uint64())
+		}
+		c, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := make([]byte, 16)
+		ref := make([]byte, 16)
+		c.Encrypt(fast, src)
+		c.encryptGeneric(ref, src)
+		if !bytes.Equal(fast, ref) {
+			t.Fatalf("trial %d: AES-%d table path %x != generic %x", trial, keyLen*8, fast, ref)
+		}
+	}
+}
+
 func TestAESDecryptInverts(t *testing.T) {
 	check := func(key [16]byte, block [16]byte) bool {
 		c, err := NewCipher(key[:])

@@ -1,6 +1,9 @@
 package crypto
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync"
+)
 
 // CacheLineSize is the size of a memory block protected as a unit (64B),
 // matching the paper's cache line and SecPB entry data size.
@@ -25,19 +28,51 @@ type Engine struct {
 	scratch *SHA512
 }
 
+// derived is the cacheable, immutable part of an engine: the expanded
+// AES key schedule and the MAC sub-key. Experiment sweeps build hundreds
+// of controllers under the same master key (one per simulated system);
+// caching the derivation means the SHA-512 key stretch and the Rijndael
+// key expansion run once per distinct key, not once per simulation. The
+// *Cipher is shared across engines — it is immutable and safe for
+// concurrent use.
+type derived struct {
+	aes    *Cipher
+	macKey [32]byte
+}
+
+var (
+	deriveMu    sync.RWMutex
+	deriveCache = map[string]derived{}
+)
+
 // NewEngine returns an engine keyed by the given secret. Different key
 // material is derived internally for encryption and authentication.
+// Engines sharing a key share the (read-only) key schedule but carry
+// private hash scratch state; each engine instance remains single-
+// threaded, as before.
 func NewEngine(key []byte) (*Engine, error) {
-	// Derive independent sub-keys via SHA-512 so a single master secret
-	// configures the whole engine.
-	d := Sum512(append([]byte("secpb-engine-v1:"), key...))
-	aes, err := NewCipher(d[:16]) // AES-128 pad generator
-	if err != nil {
-		return nil, err
+	k := string(key)
+	deriveMu.RLock()
+	d, ok := deriveCache[k]
+	deriveMu.RUnlock()
+	if !ok {
+		// Derive independent sub-keys via SHA-512 so a single master
+		// secret configures the whole engine.
+		sum := Sum512(append([]byte("secpb-engine-v1:"), key...))
+		aes, err := NewCipher(sum[:16]) // AES-128 pad generator
+		if err != nil {
+			return nil, err
+		}
+		d = derived{aes: aes}
+		copy(d.macKey[:], sum[16:48])
+		deriveMu.Lock()
+		if len(deriveCache) >= 1024 { // bound growth under adversarial key churn
+			deriveCache = map[string]derived{}
+		}
+		deriveCache[k] = d
+		deriveMu.Unlock()
 	}
-	e := &Engine{aes: aes, scratch: NewSHA512()}
-	copy(e.macKey[:], d[16:48])
-	return e, nil
+	return &Engine{aes: d.aes, macKey: d.macKey, scratch: NewSHA512()}, nil
 }
 
 // OTP computes the 64-byte one-time pad for a block at the given physical

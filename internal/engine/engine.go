@@ -39,8 +39,10 @@ type Engine struct {
 
 	// memory is the program's plaintext view of every written block —
 	// the reference the crash observer compares recovery against, and
-	// the source of initial contents for PB allocations.
-	memory map[addr.Block][addr.BlockBytes]byte
+	// the source of initial contents for PB allocations. Blocks are held
+	// by pointer so the per-store read-modify-write touches the map once
+	// and copies no 64-byte values.
+	memory map[addr.Block]*[addr.BlockBytes]byte
 
 	// Cycle-accounting clocks.
 	now         uint64 // retirement time of the last instruction
@@ -55,11 +57,10 @@ type Engine struct {
 	draining   bool     // watermark drain in progress
 	virtualOcc int
 
-	// allocCycle records when each resident entry reached the point of
-	// persistency, to measure the draining + sec-sync window the
-	// battery must be able to cover (the gaps of Figure 3).
-	allocCycle map[addr.Block]uint64
-	gapHist    *stats.Histogram
+	// gapHist measures the draining + sec-sync window the battery must
+	// be able to cover (the gaps of Figure 3); each entry's point of
+	// persistency rides on the entry itself (pb.Entry.AllocCycle).
+	gapHist *stats.Histogram
 
 	// Statistics.
 	instrs        uint64
@@ -84,15 +85,14 @@ func New(cfg config.Config, prof workload.Profile, key []byte) (*Engine, error) 
 		return nil, err
 	}
 	e := &Engine{
-		cfg:        cfg,
-		timing:     DefaultTiming(),
-		prof:       prof,
-		mc:         mc,
-		hier:       mem.NewHierarchy(cfg),
-		sb:         mem.NewStoreBuffer(cfg.StoreBufferCap),
-		memory:     make(map[addr.Block][addr.BlockBytes]byte),
-		allocCycle: make(map[addr.Block]uint64),
-		gapHist:    stats.NewHistogram(256, 512),
+		cfg:     cfg,
+		timing:  DefaultTiming(),
+		prof:    prof,
+		mc:      mc,
+		hier:    mem.NewHierarchy(cfg),
+		sb:      mem.NewStoreBuffer(cfg.StoreBufferCap),
+		memory:  make(map[addr.Block]*[addr.BlockBytes]byte),
+		gapHist: stats.NewHistogram(256, 512),
 	}
 	if cfg.Scheme != config.SchemeSP {
 		spb, err := core.New(cfg, mc)
@@ -110,9 +110,26 @@ func (e *Engine) Controller() *nvm.Controller { return e.mc }
 // SecPB exposes the persist buffer (nil under the SP baseline).
 func (e *Engine) SecPB() *core.SecPB { return e.spb }
 
-// Memory returns the program's plaintext view (the crash observer's
-// reference for blocks that reached the point of persistency).
-func (e *Engine) Memory() map[addr.Block][addr.BlockBytes]byte { return e.memory }
+// Memory returns a snapshot of the program's plaintext view (the crash
+// observer's reference for blocks that reached the point of
+// persistency). The snapshot is rebuilt per call; per-block reads on hot
+// paths should use MemoryBlock instead.
+func (e *Engine) Memory() map[addr.Block][addr.BlockBytes]byte {
+	out := make(map[addr.Block][addr.BlockBytes]byte, len(e.memory))
+	for b, p := range e.memory {
+		out[b] = *p
+	}
+	return out
+}
+
+// MemoryBlock returns the plaintext view of one block and whether the
+// program ever wrote it.
+func (e *Engine) MemoryBlock(b addr.Block) ([addr.BlockBytes]byte, bool) {
+	if p, ok := e.memory[b]; ok {
+		return *p, true
+	}
+	return [addr.BlockBytes]byte{}, false
+}
 
 // Now returns the current cycle.
 func (e *Engine) Now() uint64 { return e.now }
@@ -222,18 +239,21 @@ func (e *Engine) doStore(op trace.Op) error {
 	block := addr.BlockOf(op.Addr)
 	off := int(op.Addr - block.Addr())
 
-	// Functional: update the program view.
-	cur := e.memory[block]
-	for i := 0; i < int(op.Size); i++ {
-		cur[off+i] = byte(op.Data >> (8 * i))
+	// Functional: update the program view in place.
+	blk := e.memory[block]
+	if blk == nil {
+		blk = new([addr.BlockBytes]byte)
+		e.memory[block] = blk
 	}
-	e.memory[block] = cur
+	for i := 0; i < int(op.Size); i++ {
+		blk[off+i] = byte(op.Data >> (8 * i))
+	}
 
 	// Timing+state: L1D write in parallel with PB acceptance.
 	e.hier.Store(block.Addr())
 
 	if e.cfg.Scheme == config.SchemeSP {
-		return e.doStoreSP(block, cur)
+		return e.doStoreSP(block, blk)
 	}
 
 	// Retire completed drains.
@@ -259,15 +279,12 @@ func (e *Engine) doStore(op trace.Op) error {
 		e.reapDrains(accStart)
 	}
 
-	snapshot := e.memory[block]
-	cost, err := e.spb.AcceptStore(block, off, int(op.Size), op.Data,
-		func() [addr.BlockBytes]byte { return snapshot })
+	cost, err := e.spb.AcceptStoreInit(0, block, off, int(op.Size), op.Data, blk, accStart)
 	if err != nil {
 		return fmt.Errorf("engine: accept store: %w", err)
 	}
 	if cost.Allocated {
 		e.virtualOcc++
-		e.allocCycle[block] = accStart
 	}
 
 	// Early-work timing follows Figure 4's dependency graph: the
@@ -341,7 +358,7 @@ func (e *Engine) doStore(op trace.Op) error {
 
 // doStoreSP models the SP baseline: every store streams through the
 // MC's pipelined tuple-update path (no coalescing, SPoP at the MC).
-func (e *Engine) doStoreSP(block addr.Block, data [addr.BlockBytes]byte) error {
+func (e *Engine) doStoreSP(block addr.Block, data *[addr.BlockBytes]byte) error {
 	levels := 0
 	if h := e.mc.Heights(); h != nil {
 		levels = h.WalkLevels(block.CounterLine())
@@ -352,7 +369,7 @@ func (e *Engine) doStoreSP(block addr.Block, data [addr.BlockBytes]byte) error {
 	e.spUnitFree = done
 	e.now = e.sb.Push(e.now, done)
 	// Functional write-through persist of the whole block.
-	if _, err := e.mc.PersistBlock(block, data, nvm.PreparedMeta{}); err != nil {
+	if _, err := e.mc.PersistBlock(block, *data, nvm.PreparedMeta{}); err != nil {
 		return fmt.Errorf("engine: SP persist: %w", err)
 	}
 	return nil
@@ -379,11 +396,8 @@ func (e *Engine) scheduleDrain(at uint64) error {
 	e.inflight = append(e.inflight, e.drainFree)
 	// Record the PoP -> SPoP window (draining gap + sec-sync gap): the
 	// time this entry spent covered only by the battery guarantee.
-	if alloc, ok := e.allocCycle[entry.Block]; ok {
-		if e.drainFree > alloc {
-			e.gapHist.Add(e.drainFree - alloc)
-		}
-		delete(e.allocCycle, entry.Block)
+	if e.drainFree > entry.AllocCycle {
+		e.gapHist.Add(e.drainFree - entry.AllocCycle)
 	}
 	return nil
 }

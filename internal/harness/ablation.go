@@ -26,61 +26,52 @@ func Ablation(o Options) (*stats.Table, error) {
 	tab := stats.NewTable("Ablations: ablated / default execution time",
 		"Benchmark", "no-coalescing (CM)", "no-coalescing (NoGap)",
 		"blocking-verify (COBCM)", "unified-MDC (COBCM)")
+
+	// Per benchmark: four (default, ablated) config pairs.
+	pairs := func() [][2]config.Config {
+		cmBase := o.Cfg.WithScheme(config.SchemeCM)
+		cmAbl := cmBase
+		cmAbl.DisableDVICoalescing = true
+
+		ngBase := o.Cfg.WithScheme(config.SchemeNoGap)
+		ngAbl := ngBase
+		ngAbl.DisableDVICoalescing = true
+
+		spBase := o.Cfg.WithScheme(config.SchemeCOBCM)
+		spAbl := spBase
+		spAbl.Speculative = false
+
+		mdcBase := o.Cfg.WithScheme(config.SchemeCOBCM)
+		mdcAbl := mdcBase
+		mdcAbl.UnifiedMDC = true
+
+		return [][2]config.Config{
+			{cmBase, cmAbl}, {ngBase, ngAbl}, {spBase, spAbl}, {mdcBase, mdcAbl},
+		}
+	}()
+	perBench := 2 * len(pairs)
+	jobs := make([]simJob, 0, len(benches)*perBench)
 	for _, name := range benches {
 		p, err := profileByName(name)
 		if err != nil {
 			return nil, err
 		}
-
-		ratio := func(base, ablated config.Config) (float64, error) {
-			rb, err := o.run(base, p)
-			if err != nil {
-				return 0, err
-			}
-			ra, err := o.run(ablated, p)
-			if err != nil {
-				return 0, err
-			}
-			return float64(ra.Cycles) / float64(rb.Cycles), nil
+		for _, pair := range pairs {
+			jobs = append(jobs, simJob{pair[0], p}, simJob{pair[1], p})
 		}
-
-		cmBase := o.Cfg.WithScheme(config.SchemeCM)
-		cmAbl := cmBase
-		cmAbl.DisableDVICoalescing = true
-		r1, err := ratio(cmBase, cmAbl)
-		if err != nil {
-			return nil, err
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for bi, name := range benches {
+		cells := []string{name}
+		for pi := range pairs {
+			base := results[bi*perBench+2*pi]
+			abl := results[bi*perBench+2*pi+1]
+			cells = append(cells, fmt.Sprintf("%.2fx", float64(abl.Cycles)/float64(base.Cycles)))
 		}
-
-		ngBase := o.Cfg.WithScheme(config.SchemeNoGap)
-		ngAbl := ngBase
-		ngAbl.DisableDVICoalescing = true
-		r2, err := ratio(ngBase, ngAbl)
-		if err != nil {
-			return nil, err
-		}
-
-		spBase := o.Cfg.WithScheme(config.SchemeCOBCM)
-		spAbl := spBase
-		spAbl.Speculative = false
-		r3, err := ratio(spBase, spAbl)
-		if err != nil {
-			return nil, err
-		}
-
-		mdcBase := o.Cfg.WithScheme(config.SchemeCOBCM)
-		mdcAbl := mdcBase
-		mdcAbl.UnifiedMDC = true
-		r4, err := ratio(mdcBase, mdcAbl)
-		if err != nil {
-			return nil, err
-		}
-
-		tab.AddRowStrings(name,
-			fmt.Sprintf("%.2fx", r1),
-			fmt.Sprintf("%.2fx", r2),
-			fmt.Sprintf("%.2fx", r3),
-			fmt.Sprintf("%.2fx", r4))
+		tab.AddRowStrings(cells...)
 	}
 	return tab, nil
 }

@@ -11,11 +11,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"secpb/internal/config"
 	"secpb/internal/energy"
 	"secpb/internal/engine"
+	"secpb/internal/runner"
 	"secpb/internal/stats"
 	"secpb/internal/workload"
 )
@@ -31,7 +34,18 @@ type Options struct {
 	// Benchmarks optionally restricts the benchmark set (default all).
 	Benchmarks []string
 	// Progress, if non-nil, receives a line per completed simulation.
+	// It may be called from multiple goroutines but never concurrently;
+	// the harness serializes calls.
 	Progress func(msg string)
+	// Parallelism bounds the number of concurrent simulations per
+	// experiment. 0 means runner.DefaultWorkers() (GOMAXPROCS); 1 runs
+	// strictly serially. Every simulation is independent and results are
+	// reassembled in input order, so artifacts are byte-identical at any
+	// parallelism.
+	Parallelism int
+	// Ctx, if non-nil, cancels in-flight experiments (default
+	// context.Background()).
+	Ctx context.Context
 }
 
 // DefaultOptions returns the standard experiment setup.
@@ -74,6 +88,33 @@ func (o *Options) run(cfg config.Config, prof workload.Profile) (engine.Result, 
 	return res, nil
 }
 
+// simJob is one (config, benchmark) cell of an experiment grid.
+type simJob struct {
+	cfg  config.Config
+	prof workload.Profile
+}
+
+// runAll simulates every job with the configured parallelism and returns
+// results in input order. Each job builds its own engine, controller and
+// crypto state, so jobs share nothing; the progress callback is the only
+// shared sink and is serialized here.
+func (o *Options) runAll(jobs []simJob) ([]engine.Result, error) {
+	po := *o
+	if o.Progress != nil {
+		var mu sync.Mutex
+		orig := o.Progress
+		po.Progress = func(msg string) {
+			mu.Lock()
+			defer mu.Unlock()
+			orig(msg)
+		}
+	}
+	return runner.Map(o.Ctx, o.Parallelism, jobs,
+		func(_ context.Context, _ int, j simJob) (engine.Result, error) {
+			return po.run(j.cfg, j.prof)
+		})
+}
+
 // SlowdownGrid holds normalized execution times: Ratio[bench][scheme].
 type SlowdownGrid struct {
 	Schemes []config.Scheme
@@ -86,8 +127,24 @@ type SlowdownGrid struct {
 
 // slowdowns runs every benchmark under baseline BBB plus the given
 // schemes at the given SecPB size, returning normalized execution time.
+// The (benchmark x scheme) grid fans out over the configured
+// parallelism; ratios and geomeans are reassembled in input order, so
+// the grid is identical at any parallelism.
 func (o *Options) slowdowns(schemes []config.Scheme, entries int) (*SlowdownGrid, error) {
 	profs, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	// One BBB baseline plus every scheme, per benchmark.
+	perProf := 1 + len(schemes)
+	jobs := make([]simJob, 0, len(profs)*perProf)
+	for _, p := range profs {
+		jobs = append(jobs, simJob{o.Cfg.WithScheme(config.SchemeBBB).WithSecPBEntries(entries), p})
+		for _, s := range schemes {
+			jobs = append(jobs, simJob{o.Cfg.WithScheme(s).WithSecPBEntries(entries), p})
+		}
+	}
+	results, err := o.runAll(jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -100,18 +157,12 @@ func (o *Options) slowdowns(schemes []config.Scheme, entries int) (*SlowdownGrid
 	for _, s := range schemes {
 		geo[s] = &stats.GeoMean{}
 	}
-	for _, p := range profs {
+	for pi, p := range profs {
 		grid.Benches = append(grid.Benches, p.Name)
-		base, err := o.run(o.Cfg.WithScheme(config.SchemeBBB).WithSecPBEntries(entries), p)
-		if err != nil {
-			return nil, err
-		}
+		base := results[pi*perProf]
 		row := map[config.Scheme]float64{}
-		for _, s := range schemes {
-			res, err := o.run(o.Cfg.WithScheme(s).WithSecPBEntries(entries), p)
-			if err != nil {
-				return nil, err
-			}
+		for si, s := range schemes {
+			res := results[pi*perProf+1+si]
 			ratio := float64(res.Cycles) / float64(base.Cycles)
 			row[s] = ratio
 			if err := geo[s].Add(ratio); err != nil {
@@ -234,17 +285,24 @@ func Figure7(o Options) (map[int]map[string]float64, *stats.BarSeries, error) {
 	for _, n := range Figure7Sizes {
 		out[n] = map[string]float64{}
 	}
+	// Per benchmark: a (BBB, CM) pair at every size.
+	perProf := 2 * len(Figure7Sizes)
+	jobs := make([]simJob, 0, len(profs)*perProf)
 	for _, p := range profs {
-		vals := make([]float64, 0, len(Figure7Sizes))
 		for _, n := range Figure7Sizes {
-			base, err := o.run(o.Cfg.WithScheme(config.SchemeBBB).WithSecPBEntries(n), p)
-			if err != nil {
-				return nil, nil, err
-			}
-			res, err := o.run(o.Cfg.WithScheme(config.SchemeCM).WithSecPBEntries(n), p)
-			if err != nil {
-				return nil, nil, err
-			}
+			jobs = append(jobs, simJob{o.Cfg.WithScheme(config.SchemeBBB).WithSecPBEntries(n), p})
+			jobs = append(jobs, simJob{o.Cfg.WithScheme(config.SchemeCM).WithSecPBEntries(n), p})
+		}
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for pi, p := range profs {
+		vals := make([]float64, 0, len(Figure7Sizes))
+		for ni, n := range Figure7Sizes {
+			base := results[pi*perProf+2*ni]
+			res := results[pi*perProf+2*ni+1]
 			ratio := float64(res.Cycles) / float64(base.Cycles)
 			out[n][p.Name] = ratio
 			vals = append(vals, ratio)
@@ -272,23 +330,32 @@ func Figure8(o Options) (map[string]map[string]float64, *stats.Table, error) {
 	}
 	tab := stats.NewTable("Figure 8: BMT root updates normalized to sec_wt (1 update per store)",
 		append([]string{"Benchmark"}, cols...)...)
+	// Per benchmark: every scheme at the default size, then CM per size.
+	perProf := len(config.SecPBSchemes()) + len(Figure7Sizes)
+	jobs := make([]simJob, 0, len(profs)*perProf)
 	for _, p := range profs {
+		for _, s := range config.SecPBSchemes() {
+			jobs = append(jobs, simJob{o.Cfg.WithScheme(s), p})
+		}
+		for _, n := range Figure7Sizes {
+			jobs = append(jobs, simJob{o.Cfg.WithScheme(config.SchemeCM).WithSecPBEntries(n), p})
+		}
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for pi, p := range profs {
 		row := map[string]float64{}
 		cells := []string{p.Name}
-		for _, s := range config.SecPBSchemes() {
-			res, err := o.run(o.Cfg.WithScheme(s), p)
-			if err != nil {
-				return nil, nil, err
-			}
+		for si, s := range config.SecPBSchemes() {
+			res := results[pi*perProf+si]
 			frac := float64(res.BMTRootUpdates) / float64(res.Stores)
 			row[s.String()+"-32"] = frac
 			cells = append(cells, fmt.Sprintf("%.1f%%", frac*100))
 		}
-		for _, n := range Figure7Sizes {
-			res, err := o.run(o.Cfg.WithScheme(config.SchemeCM).WithSecPBEntries(n), p)
-			if err != nil {
-				return nil, nil, err
-			}
+		for ni, n := range Figure7Sizes {
+			res := results[pi*perProf+len(config.SecPBSchemes())+ni]
 			frac := float64(res.BMTRootUpdates) / float64(res.Stores)
 			row[fmt.Sprintf("cm-%d", n)] = frac
 			cells = append(cells, fmt.Sprintf("%.1f%%", frac*100))
@@ -324,20 +391,27 @@ func Figure9(o Options) (map[string]map[string]float64, *stats.BarSeries, error)
 	bars := stats.NewBarSeries("Figure 9: CM with DBMF/SBMF vs SP baselines, normalized to BBB", names...)
 	bars.SetUnit("x")
 	out := map[string]map[string]float64{}
+	// Per benchmark: a BBB baseline plus every forest variant.
+	perProf := 1 + len(variants)
+	jobs := make([]simJob, 0, len(profs)*perProf)
 	for _, p := range profs {
-		base, err := o.run(o.Cfg.WithScheme(config.SchemeBBB), p)
-		if err != nil {
-			return nil, nil, err
-		}
-		row := map[string]float64{}
-		vals := make([]float64, 0, len(variants))
+		jobs = append(jobs, simJob{o.Cfg.WithScheme(config.SchemeBBB), p})
 		for _, v := range variants {
 			cfg := o.Cfg.WithScheme(v.scheme)
 			cfg.BMFMode = v.bmf
-			res, err := o.run(cfg, p)
-			if err != nil {
-				return nil, nil, err
-			}
+			jobs = append(jobs, simJob{cfg, p})
+		}
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for pi, p := range profs {
+		base := results[pi*perProf]
+		row := map[string]float64{}
+		vals := make([]float64, 0, len(variants))
+		for vi, v := range variants {
+			res := results[pi*perProf+1+vi]
 			ratio := float64(res.Cycles) / float64(base.Cycles)
 			row[v.name] = ratio
 			vals = append(vals, ratio)
@@ -359,15 +433,17 @@ func StatsReport(o Options) (*stats.Table, error) {
 	}
 	tab := stats.NewTable("Section VI.B statistics (per benchmark)",
 		"Benchmark", "PPTI", "NWPE", "BBB IPC", "NoGap IPC", "Analytical IPC")
+	jobs := make([]simJob, 0, 2*len(profs))
 	for _, p := range profs {
-		base, err := o.run(o.Cfg.WithScheme(config.SchemeBBB), p)
-		if err != nil {
-			return nil, err
-		}
-		ng, err := o.run(o.Cfg.WithScheme(config.SchemeNoGap), p)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, simJob{o.Cfg.WithScheme(config.SchemeBBB), p})
+		jobs = append(jobs, simJob{o.Cfg.WithScheme(config.SchemeNoGap), p})
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range profs {
+		base, ng := results[2*pi], results[2*pi+1]
 		bmtLat := float64(o.Cfg.BMTLevels) * float64(o.Cfg.MACLatency)
 		analytical := 1000 / (bmtLat*ng.PPTI/ng.NWPE + float64(o.Cfg.MACLatency)*ng.PPTI)
 		tab.AddRowStrings(p.Name,

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"secpb/internal/config"
+)
+
+// TestParallelDeterminism is the core guarantee of the parallel runner:
+// the same experiment run serially and with many workers produces
+// byte-identical artifacts, because every simulation is independent and
+// results are reassembled in input order.
+func TestParallelDeterminism(t *testing.T) {
+	base := DefaultOptions()
+	base.Ops = 4000
+	base.Benchmarks = []string{"gamess", "mcf"}
+
+	serial := base
+	serial.Parallelism = 1
+	wide := base
+	wide.Parallelism = 8
+
+	sGrid, sTab, err := Table4(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wGrid, wTab, err := Table4(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sTab.String() != wTab.String() {
+		t.Errorf("Table IV differs between Parallelism 1 and 8:\nserial:\n%s\nparallel:\n%s", sTab, wTab)
+	}
+	for _, sch := range sGrid.Schemes {
+		if sGrid.Mean[sch] != wGrid.Mean[sch] {
+			t.Errorf("scheme %v geomean: serial %v != parallel %v", sch, sGrid.Mean[sch], wGrid.Mean[sch])
+		}
+	}
+
+	sVals, sBars, err := Figure7(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wVals, wBars, err := Figure7(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sBars.String() != wBars.String() {
+		t.Errorf("Figure 7 rendering differs between Parallelism 1 and 8")
+	}
+	for size, row := range sVals {
+		for bench, v := range row {
+			if wVals[size][bench] != v {
+				t.Errorf("Figure 7 %s size %d: serial %v != parallel %v", bench, size, v, wVals[size][bench])
+			}
+		}
+	}
+}
+
+// TestParallelSimulationErrorAborts injects a failing configuration and
+// checks the pool surfaces the error instead of hanging or panicking.
+func TestParallelSimulationErrorAborts(t *testing.T) {
+	o := DefaultOptions()
+	o.Ops = 4000
+	o.Benchmarks = []string{"gamess", "mcf"}
+	o.Parallelism = 4
+	o.Cfg = config.Default()
+	o.Cfg.BMTLevels = 0 // fails controller construction in every secure job
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Table4(o)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Table4 with invalid config succeeded, want error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Table4 did not abort promptly on simulation error")
+	}
+}
+
+// TestParallelContextCancellation checks a pre-cancelled context stops
+// the experiment before it burns through the grid.
+func TestParallelContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	o := DefaultOptions()
+	o.Ops = 4000
+	o.Benchmarks = []string{"gamess", "mcf"}
+	o.Parallelism = 4
+	o.Ctx = ctx
+
+	start := time.Now()
+	_, _, err := Table4(o)
+	if err == nil {
+		t.Fatal("Table4 with cancelled context succeeded, want error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancelled Table4 took %v, want prompt abort", elapsed)
+	}
+}

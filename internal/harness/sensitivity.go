@@ -20,12 +20,20 @@ func GapsReport(o Options) (*stats.Table, error) {
 	}
 	tab := stats.NewTable("Battery-exposure windows per scheme (PoP -> tuple drained)",
 		"Benchmark", "Scheme", "Mean cycles", "P99 cycles", "Crash work (per entry)")
+	schemes := config.SecPBSchemes()
+	jobs := make([]simJob, 0, len(profs)*len(schemes))
 	for _, p := range profs {
-		for _, s := range config.SecPBSchemes() {
-			res, err := o.run(o.Cfg.WithScheme(s), p)
-			if err != nil {
-				return nil, err
-			}
+		for _, s := range schemes {
+			jobs = append(jobs, simJob{o.Cfg.WithScheme(s), p})
+		}
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range profs {
+		for si, s := range schemes {
+			res := results[pi*len(schemes)+si]
 			// Summarize crash-time work qualitatively from the scheme.
 			e := s.Early()
 			work := 0
@@ -54,49 +62,53 @@ func Sensitivity(o Options) (*stats.Table, error) {
 	}
 	tab := stats.NewTable("Sensitivity of CM overhead to security-mechanism parameters",
 		"Benchmark", "Parameter", "Value", "Slowdown vs BBB")
+
+	// Per benchmark: a BBB baseline plus one config per swept point.
+	type point struct {
+		param, value string
+		cfg          config.Config
+	}
+	points := func() []point {
+		var ps []point
+		for _, lat := range []uint64{20, 40, 80} {
+			cfg := o.Cfg.WithScheme(config.SchemeCM)
+			cfg.MACLatency = lat
+			ps = append(ps, point{"MAC/hash latency", fmt.Sprintf("%d cy", lat), cfg})
+		}
+		for _, h := range []int{4, 8, 12} {
+			cfg := o.Cfg.WithScheme(config.SchemeCM)
+			cfg.BMTLevels = h
+			ps = append(ps, point{"BMT height", fmt.Sprintf("%d levels", h), cfg})
+		}
+		for _, hi := range []float64{0.5, 0.75, 0.9} {
+			cfg := o.Cfg.WithScheme(config.SchemeCOBCM)
+			cfg.DrainHi = hi
+			ps = append(ps, point{"drain high watermark", fmt.Sprintf("%.0f%%", hi*100), cfg})
+		}
+		return ps
+	}()
+	perBench := 1 + len(points)
+	jobs := make([]simJob, 0, len(benches)*perBench)
 	for _, name := range benches {
 		p, err := profileByName(name)
 		if err != nil {
 			return nil, err
 		}
-		base, err := o.run(o.Cfg.WithScheme(config.SchemeBBB), p)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, simJob{o.Cfg.WithScheme(config.SchemeBBB), p})
+		for _, pt := range points {
+			jobs = append(jobs, simJob{pt.cfg, p})
 		}
-		ratioFor := func(cfg config.Config) (float64, error) {
-			res, err := o.run(cfg, p)
-			if err != nil {
-				return 0, err
-			}
-			return float64(res.Cycles) / float64(base.Cycles), nil
-		}
-
-		for _, lat := range []uint64{20, 40, 80} {
-			cfg := o.Cfg.WithScheme(config.SchemeCM)
-			cfg.MACLatency = lat
-			r, err := ratioFor(cfg)
-			if err != nil {
-				return nil, err
-			}
-			tab.AddRowStrings(name, "MAC/hash latency", fmt.Sprintf("%d cy", lat), fmt.Sprintf("%.2fx", r))
-		}
-		for _, h := range []int{4, 8, 12} {
-			cfg := o.Cfg.WithScheme(config.SchemeCM)
-			cfg.BMTLevels = h
-			r, err := ratioFor(cfg)
-			if err != nil {
-				return nil, err
-			}
-			tab.AddRowStrings(name, "BMT height", fmt.Sprintf("%d levels", h), fmt.Sprintf("%.2fx", r))
-		}
-		for _, hi := range []float64{0.5, 0.75, 0.9} {
-			cfg := o.Cfg.WithScheme(config.SchemeCOBCM)
-			cfg.DrainHi = hi
-			r, err := ratioFor(cfg)
-			if err != nil {
-				return nil, err
-			}
-			tab.AddRowStrings(name, "drain high watermark", fmt.Sprintf("%.0f%%", hi*100), fmt.Sprintf("%.2fx", r))
+	}
+	results, err := o.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for bi, name := range benches {
+		base := results[bi*perBench]
+		for pi, pt := range points {
+			res := results[bi*perBench+1+pi]
+			r := float64(res.Cycles) / float64(base.Cycles)
+			tab.AddRowStrings(name, pt.param, pt.value, fmt.Sprintf("%.2fx", r))
 		}
 	}
 	return tab, nil

@@ -33,11 +33,21 @@ func (cl *CounterLine) Value(offset int) uint64 {
 	return cl.Major<<MinorBits | uint64(cl.Minors[offset])
 }
 
-// Bytes serializes the line for hashing as a BMT leaf.
-func (cl *CounterLine) Bytes() []byte {
-	buf := make([]byte, 8+addr.BlocksPerPage)
+// LineBytesLen is the serialized size of a CounterLine.
+const LineBytesLen = 8 + addr.BlocksPerPage
+
+// PutBytes serializes the line into buf, which must be at least
+// LineBytesLen long. Hot-path callers (the BMT walk on every drain) use
+// it with a reusable scratch buffer to avoid a per-walk allocation.
+func (cl *CounterLine) PutBytes(buf []byte) {
 	binary.LittleEndian.PutUint64(buf, cl.Major)
 	copy(buf[8:], cl.Minors[:])
+}
+
+// Bytes serializes the line for hashing as a BMT leaf.
+func (cl *CounterLine) Bytes() []byte {
+	buf := make([]byte, LineBytesLen)
+	cl.PutBytes(buf)
 	return buf
 }
 

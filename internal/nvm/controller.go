@@ -89,6 +89,12 @@ type Controller struct {
 	onReencrypt []func(page uint64)
 
 	reencrypts uint64
+
+	// Reusable scratch for the drain-path BMT walk; the controller models
+	// one hardware unit and is not safe for concurrent use, so one buffer
+	// of each suffices.
+	lineBuf [meta.LineBytesLen]byte
+	pathIDs []uint64
 }
 
 // NewController builds the controller for the given configuration. The
@@ -211,7 +217,8 @@ func (c *Controller) walkBMT(b addr.Block, update bool) Cost {
 	var cost Cost
 	cost.BMTLevels = levels
 	cost.Hashes += levels
-	ids := c.tree.PathNodeIDs(page)
+	c.pathIDs = c.tree.AppendPathNodeIDs(c.pathIDs[:0], page)
+	ids := c.pathIDs
 	for i := 0; i < levels && i < len(ids); i++ {
 		nodeAddr := bmtTag | ids[i]<<6 // distinct pseudo-address per node
 		if !c.bmtCache.Access(nodeAddr, update, false) {
@@ -221,7 +228,8 @@ func (c *Controller) walkBMT(b addr.Block, update bool) Cost {
 		}
 	}
 	if update {
-		c.tree.Update(page, c.ctrs.Line(page).Bytes())
+		c.ctrs.Line(page).PutBytes(c.lineBuf[:])
+		c.tree.Update(page, c.lineBuf[:])
 	}
 	return cost
 }
@@ -339,7 +347,8 @@ func (c *Controller) PersistBlock(b addr.Block, plain [addr.BlockBytes]byte, pre
 	// the post-increment storage counters); the walk cost is charged
 	// only if the scheme did not already pay it at allocation.
 	if prep.BMTDone {
-		c.tree.Update(b.CounterLine(), c.ctrs.Line(b.CounterLine()).Bytes())
+		c.ctrs.Line(b.CounterLine()).PutBytes(c.lineBuf[:])
+		c.tree.Update(b.CounterLine(), c.lineBuf[:])
 	} else {
 		cost.Add(c.walkBMT(b, true))
 	}
@@ -426,7 +435,8 @@ func (c *Controller) FetchBlock(b addr.Block) ([addr.BlockBytes]byte, Cost, erro
 	}
 	cost.Add(c.walkBMT(b, false))
 	page := b.CounterLine()
-	if err := c.tree.Verify(page, c.ctrs.Line(page).Bytes()); err != nil {
+	c.ctrs.Line(page).PutBytes(c.lineBuf[:])
+	if err := c.tree.Verify(page, c.lineBuf[:]); err != nil {
 		return plain, cost, fmt.Errorf("nvm: integrity failure: %w", err)
 	}
 	return plain, cost, nil

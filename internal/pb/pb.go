@@ -31,7 +31,11 @@ type Entry[E any] struct {
 	ASID   uint16
 	Writes int    // stores coalesced into this entry (drives NWPE)
 	Seq    uint64 // allocation sequence for FIFO draining
-	Ext    E
+	// AllocCycle is the simulation cycle at which the entry reached the
+	// point of persistency (stamped by the owning engine; zero when the
+	// caller keeps no clock). It feeds the battery-exposure histogram.
+	AllocCycle uint64
+	Ext        E
 }
 
 // Buffer is a coalescing persist buffer with watermark-based draining.
@@ -105,6 +109,19 @@ func (b *Buffer[E]) Write(block addr.Block, off, size int, val uint64, fetch fun
 // WriteFor is Write with an explicit address-space tag for the
 // allocating process; a coalescing write does not re-tag the entry.
 func (b *Buffer[E]) WriteFor(asid uint16, block addr.Block, off, size int, val uint64, fetch func() [addr.BlockBytes]byte) (entry *Entry[E], allocated bool, err error) {
+	var init *[addr.BlockBytes]byte
+	if fetch != nil {
+		data := fetch()
+		init = &data
+	}
+	return b.WriteInit(asid, block, off, size, val, init)
+}
+
+// WriteInit is WriteFor without the closure: init, if non-nil, points at
+// the block's current contents, copied only when a new entry is
+// allocated. Callers on the per-store hot path use this form so no
+// closure (and no captured 64-byte snapshot) escapes per store.
+func (b *Buffer[E]) WriteInit(asid uint16, block addr.Block, off, size int, val uint64, init *[addr.BlockBytes]byte) (entry *Entry[E], allocated bool, err error) {
 	if off < 0 || size <= 0 || size > 8 || off+size > addr.BlockBytes {
 		return nil, false, fmt.Errorf("pb: invalid write off=%d size=%d", off, size)
 	}
@@ -114,8 +131,8 @@ func (b *Buffer[E]) WriteFor(asid uint16, block addr.Block, off, size int, val u
 			return nil, false, ErrFull
 		}
 		e = &Entry[E]{Block: block, Seq: b.seq, ASID: asid}
-		if fetch != nil {
-			e.Data = fetch()
+		if init != nil {
+			e.Data = *init
 		}
 		b.seq++
 		b.entries[block] = e

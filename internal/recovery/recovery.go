@@ -211,7 +211,7 @@ func RunAttack(e *engine.Engine, a Attack, victim addr.Block) (detected bool, er
 			return false, fmt.Errorf("recovery: victim has no MAC")
 		}
 		oldMinor := uint8(mc.Counters().Value(victim))
-		plain := e.Memory()[victim]
+		plain, _ := e.MemoryBlock(victim)
 		if _, err := mc.PersistBlock(victim, plain, nvm.PreparedMeta{}); err != nil {
 			return false, err
 		}

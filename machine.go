@@ -85,7 +85,8 @@ func (m *Machine) Load(byteAddr uint64) ([BlockSize]byte, error) {
 	if err := m.eng.Step(trace.Op{Kind: trace.Load, Addr: byteAddr &^ 7, Size: 8, Gap: 1}); err != nil {
 		return [BlockSize]byte{}, err
 	}
-	return m.eng.Memory()[addr.BlockOf(byteAddr)], nil
+	blk, _ := m.eng.MemoryBlock(addr.BlockOf(byteAddr))
+	return blk, nil
 }
 
 // Fence drains the store buffer (only needed for relaxed-consistency

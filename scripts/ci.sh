@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# CI gate: build everything, vet, and run the full test suite under the
+# race detector. The parallel experiment runner makes races possible in
+# principle, so -race is part of the standard gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates the raw measurements behind BENCH_PR1.json:
+#   1. engine/crypto micro-benchmarks (ns/op),
+#   2. serial vs parallel table4 sweep wall-clock, with an output
+#      byte-identity check across parallelism levels.
+#
+# Run on an idle machine; results land in /tmp/secpb-perf/. The JSON in
+# BENCH_PR1.json is assembled by hand from these outputs together with a
+# baseline run of the same benchmarks at the comparison commit (use a
+# temporary `git worktree add` of the baseline so both trees are measured
+# back-to-back under identical machine conditions).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=/tmp/secpb-perf
+mkdir -p "$out"
+
+echo "== micro-benchmarks =="
+go test -bench 'BenchmarkEngineStore|BenchmarkEngineLoad|BenchmarkOTPGen|BenchmarkTable4Grid|BenchmarkEngineBBB|BenchmarkEngineCOBCM|BenchmarkEngineNoGap|BenchmarkEngineSP' \
+    -benchtime 2s -run '^$' . | tee "$out/bench.txt"
+
+echo "== table4 sweep: serial vs parallel =="
+go build -o "$out/secpb-bench" ./cmd/secpb-bench
+"$out/secpb-bench" -exp table4 -ops 60000 -parallel 1 \
+    -timing "$out/timing_serial.json" > "$out/table4_serial.txt"
+"$out/secpb-bench" -exp table4 -ops 60000 -parallel 0 \
+    -timing "$out/timing_parallel.json" > "$out/table4_parallel.txt"
+
+if diff -q "$out/table4_serial.txt" "$out/table4_parallel.txt" > /dev/null; then
+    echo "output identical across parallelism levels"
+else
+    echo "ERROR: parallel output differs from serial" >&2
+    exit 1
+fi
+cat "$out/timing_serial.json" "$out/timing_parallel.json"
