@@ -13,6 +13,7 @@ package bmt
 
 import (
 	"fmt"
+	"slices"
 
 	"secpb/internal/crypto"
 )
@@ -46,6 +47,19 @@ type Hasher interface {
 // Level 0 holds leaf hashes (one per counter line); level height-1 holds
 // the Arity children of the root; the root itself lives in an on-chip NV
 // register and never leaves the TCB.
+//
+// Physical hashing is coalesced (Freij et al., "Streamlining Integrity
+// Tree Updates"): Update stages the counter line in a dirty-leaf set and
+// defers hashing; Sweep commits all staged leaves with one deduplicated
+// bottom-up pass, so interior nodes shared by many updated leaves are
+// hashed once per sweep instead of once per leaf-to-root walk. Every
+// observation of tree state (Root, Verify, Tamper, Snapshot,
+// NodesMaterialized) sweeps first, so stored nodes and the root register
+// are always observationally identical to the eager per-walk scheme.
+//
+// Accounting stays logical: Updates() counts leaf-to-root walks exactly
+// as the eager tree did (the Figure 8 statistic), while PhysicalHashes()
+// separately counts node hashes actually computed.
 type Tree struct {
 	h        Hasher
 	height   int
@@ -53,7 +67,15 @@ type Tree struct {
 	levels   []map[uint64]Digest
 	defaults []Digest // default node hash per level
 	root     Digest
-	updates  uint64 // leaf-to-root update walks performed
+	updates  uint64 // leaf-to-root update walks performed (logical)
+	// pending maps a dirty leaf index to its staged counter-line copy
+	// (last writer wins, as in the eager scheme); freeLines recycles
+	// staged-line buffers across sweeps and sweepIdx is the reusable
+	// per-level index scratch for the deduplicated bottom-up pass.
+	pending    map[uint64][]byte
+	freeLines  [][]byte
+	sweepIdx   []uint64
+	physHashes uint64 // node hashes actually computed
 	// nodeBuf is the reusable child-concatenation buffer for hashChildren;
 	// a stack array would escape through the Hasher interface call and
 	// cost one heap allocation per node hash on the drain path.
@@ -75,6 +97,7 @@ func New(h Hasher, height int) (*Tree, error) {
 	for i := range t.levels {
 		t.levels[i] = make(map[uint64]Digest)
 	}
+	t.pending = make(map[uint64][]byte)
 	// Default hashes: level 0 default is the hash of an absent (all
 	// zero) leaf; level l default hashes Arity copies of level l-1's.
 	t.defaults = make([]Digest, height+1)
@@ -96,12 +119,21 @@ func (t *Tree) Height() int { return t.height }
 // Capacity returns the number of leaves.
 func (t *Tree) Capacity() uint64 { return t.capacity }
 
-// Root returns the current root register value.
-func (t *Tree) Root() Digest { return t.root }
+// Root returns the current root register value, committing any staged
+// updates first.
+func (t *Tree) Root() Digest {
+	t.Sweep()
+	return t.root
+}
 
 // Updates returns the number of leaf-to-root update walks performed —
-// the statistic Figure 8 reports.
+// the statistic Figure 8 reports. This is a logical count: it is
+// unaffected by how many physical hashes sweep coalescing saved.
 func (t *Tree) Updates() uint64 { return t.updates }
+
+// PhysicalHashes returns the number of node hashes actually computed by
+// sweeps — the wall-clock-relevant counterpart to Updates().
+func (t *Tree) PhysicalHashes() uint64 { return t.physHashes }
 
 // node returns the stored hash at (level, index), or the level default.
 func (t *Tree) node(level int, idx uint64) Digest {
@@ -130,20 +162,79 @@ func (t *Tree) LeafHash(counterLine []byte) Digest {
 	return truncate(t.h.HashNode(counterLine))
 }
 
-// Update recomputes the path from the counter line's leaf to the root,
-// storing every node along the way and updating the root register. It
-// returns the number of node hashes computed (height) for accounting.
+// Update registers a leaf-to-root update walk for the counter line: the
+// line is staged in the dirty-leaf set and the physical hashing is
+// deferred to the next Sweep (triggered by any observation of tree
+// state). It returns the number of node hashes the walk accounts for
+// (height), exactly as the eager implementation did.
 func (t *Tree) Update(page uint64, counterLine []byte) int {
-	idx := t.leafIndex(page)
-	t.levels[0][idx] = t.LeafHash(counterLine)
-	for l := 1; l < t.height; l++ {
-		parent := idx / Arity
-		t.levels[l][parent] = t.hashChildren(parent, l-1)
-		idx = parent
-	}
-	t.root = t.hashChildren(0, t.height-1)
+	t.stage(page, counterLine)
 	t.updates++
 	return t.height
+}
+
+// UpdateBatch registers one update walk per page — lineOf must return
+// the counter line for a given page — and commits them with a single
+// deduplicated sweep. It returns the total logical node-hash count
+// (len(pages) × height), matching what sequential Update calls would
+// have returned; Updates() likewise advances by len(pages).
+func (t *Tree) UpdateBatch(pages []uint64, lineOf func(page uint64) []byte) int {
+	for _, p := range pages {
+		t.stage(p, lineOf(p))
+		t.updates++
+	}
+	t.Sweep()
+	return len(pages) * t.height
+}
+
+// stage copies the counter line into the dirty-leaf set, recycling a
+// previously swept buffer when one is free. Later writes to the same
+// leaf overwrite earlier ones, as in the eager scheme.
+func (t *Tree) stage(page uint64, counterLine []byte) {
+	idx := t.leafIndex(page)
+	buf := t.pending[idx]
+	if buf == nil {
+		if n := len(t.freeLines); n > 0 {
+			buf, t.freeLines = t.freeLines[n-1], t.freeLines[:n-1]
+		}
+	}
+	t.pending[idx] = append(buf[:0], counterLine...)
+}
+
+// Sweep commits all staged leaves in one deduplicated bottom-up pass:
+// every dirty leaf is hashed once, then each level's touched parent set
+// is deduplicated and hashed once, and the root register is recomputed
+// once at the top. It returns the number of node hashes computed, which
+// is also added to PhysicalHashes(). Sweeping is observationally
+// equivalent to eager per-walk updates because each stored node is
+// recomputed from the same final child values.
+func (t *Tree) Sweep() int {
+	if len(t.pending) == 0 {
+		return 0
+	}
+	n := 0
+	idxs := t.sweepIdx[:0]
+	for idx, line := range t.pending {
+		t.levels[0][idx] = t.LeafHash(line)
+		n++
+		idxs = append(idxs, idx/Arity)
+		t.freeLines = append(t.freeLines, line)
+		delete(t.pending, idx)
+	}
+	for l := 1; l < t.height; l++ {
+		slices.Sort(idxs)
+		idxs = slices.Compact(idxs)
+		for i, parent := range idxs {
+			t.levels[l][parent] = t.hashChildren(parent, l-1)
+			n++
+			idxs[i] = parent / Arity
+		}
+	}
+	t.root = t.hashChildren(0, t.height-1)
+	n++
+	t.sweepIdx = idxs[:0]
+	t.physHashes += uint64(n)
+	return n
 }
 
 // Verify checks the counter line against the tree: the stored leaf must
@@ -153,6 +244,7 @@ func (t *Tree) Update(page uint64, counterLine []byte) int {
 // consistent tampering of a whole path — is detected because the root
 // register is on-chip.
 func (t *Tree) Verify(page uint64, counterLine []byte) error {
+	t.Sweep()
 	idx := t.leafIndex(page)
 	if got, want := t.node(0, idx), t.LeafHash(counterLine); got != want {
 		return fmt.Errorf("bmt: leaf %d does not match counter line (stale or tampered counter)", idx)
@@ -193,6 +285,7 @@ func (t *Tree) AppendPathNodeIDs(dst []uint64, page uint64) []uint64 {
 // Tamper overwrites a stored node hash (attack primitive for tests). It
 // reports an error if the node was never materialized.
 func (t *Tree) Tamper(level int, idx uint64, newHash Digest) error {
+	t.Sweep()
 	if level < 0 || level >= t.height {
 		return fmt.Errorf("bmt: level %d out of range", level)
 	}
@@ -204,8 +297,10 @@ func (t *Tree) Tamper(level int, idx uint64, newHash Digest) error {
 }
 
 // Snapshot deep-copies the tree (the persisted PM image plus the NV root
-// register at a crash point).
+// register at a crash point). Staged updates are committed first: an
+// Update models a persisted walk, so the crash image must contain it.
 func (t *Tree) Snapshot() *Tree {
+	t.Sweep()
 	cp := &Tree{
 		h:        t.h,
 		height:   t.height,
@@ -214,6 +309,7 @@ func (t *Tree) Snapshot() *Tree {
 		root:     t.root,
 		updates:  t.updates,
 	}
+	cp.physHashes = t.physHashes
 	cp.levels = make([]map[uint64]Digest, t.height)
 	for l := range t.levels {
 		cp.levels[l] = make(map[uint64]Digest, len(t.levels[l]))
@@ -221,11 +317,13 @@ func (t *Tree) Snapshot() *Tree {
 			cp.levels[l][k] = v
 		}
 	}
+	cp.pending = make(map[uint64][]byte)
 	return cp
 }
 
 // NodesMaterialized returns the number of non-default nodes stored.
 func (t *Tree) NodesMaterialized() int {
+	t.Sweep()
 	n := 0
 	for _, m := range t.levels {
 		n += len(m)

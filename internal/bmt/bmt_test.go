@@ -134,6 +134,7 @@ func TestConsistentPathTamperDetectedByRoot(t *testing.T) {
 	// register (the attacker cannot touch it).
 	forgedTree := tr.Snapshot()
 	forgedTree.Update(2, forged)
+	forgedTree.Sweep() // commit the forgery before poking the register
 	realRoot := tr.Root()
 	forgedTree.root = realRoot
 	if err := forgedTree.Verify(2, forged); err == nil {
@@ -213,6 +214,104 @@ func TestNodesMaterializedGrows(t *testing.T) {
 	}
 }
 
+// treeFingerprint captures everything observable about a tree's stored
+// state: root register, per-level materialized nodes, and the logical
+// update count.
+func treeFingerprint(tr *Tree) (Digest, []map[uint64]Digest, uint64) {
+	root := tr.Root()
+	levels := make([]map[uint64]Digest, len(tr.levels))
+	for l, m := range tr.levels {
+		levels[l] = make(map[uint64]Digest, len(m))
+		for k, v := range m {
+			levels[l][k] = v
+		}
+	}
+	return root, levels, tr.Updates()
+}
+
+func TestUpdateBatchMatchesSequential(t *testing.T) {
+	// UpdateBatch must be observationally identical to sequential Update
+	// walks on randomized address streams: same root, same stored node
+	// set and values, same Updates() count — only PhysicalHashes()
+	// differs.
+	seq, _ := newTestTree(t, 5)
+	bat, _ := newTestTree(t, 5)
+	// Deterministic pseudo-random stream with duplicates and leaf-space
+	// wraparound (pages beyond capacity alias onto leaves mod capacity).
+	rng := uint64(0x9E3779B97F4A7C15)
+	const rounds, perBatch = 20, 37
+	for r := 0; r < rounds; r++ {
+		pages := make([]uint64, perBatch)
+		lines := make(map[uint64][]byte, perBatch)
+		for i := range pages {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			p := rng % (seq.Capacity() + 100)
+			pages[i] = p
+			lines[p] = lineBytes(rng, uint8(r), uint8(i))
+			seq.Update(p, lines[p])
+			seq.Sweep() // emulate the eager per-walk scheme
+		}
+		bat.UpdateBatch(pages, func(p uint64) []byte { return lines[p] })
+	}
+	sr, sl, su := treeFingerprint(seq)
+	br, bl, bu := treeFingerprint(bat)
+	if sr != br {
+		t.Fatalf("root mismatch: sequential %x, batch %x", sr, br)
+	}
+	if su != bu {
+		t.Fatalf("Updates() mismatch: sequential %d, batch %d", su, bu)
+	}
+	for l := range sl {
+		if len(sl[l]) != len(bl[l]) {
+			t.Fatalf("level %d: %d vs %d stored nodes", l, len(sl[l]), len(bl[l]))
+		}
+		for k, v := range sl[l] {
+			if bl[l][k] != v {
+				t.Fatalf("level %d node %d: sequential %x, batch %x", l, k, v, bl[l][k])
+			}
+		}
+	}
+	if seq.PhysicalHashes() == 0 || bat.PhysicalHashes() == 0 {
+		t.Fatal("physical hash accounting missing")
+	}
+	if bat.PhysicalHashes() >= seq.PhysicalHashes() {
+		t.Errorf("batching saved no physical hashes: batch %d, sequential %d",
+			bat.PhysicalHashes(), seq.PhysicalHashes())
+	}
+}
+
+func TestUpdateBatchLogicalAccounting(t *testing.T) {
+	tr, _ := newTestTree(t, 4)
+	line := lineBytes(7, 1)
+	pages := []uint64{1, 2, 3, 2, 1}
+	n := tr.UpdateBatch(pages, func(uint64) []byte { return line })
+	if want := len(pages) * tr.Height(); n != want {
+		t.Errorf("UpdateBatch logical hashes = %d, want %d", n, want)
+	}
+	if tr.Updates() != uint64(len(pages)) {
+		t.Errorf("Updates = %d, want %d", tr.Updates(), len(pages))
+	}
+	// Duplicates collapse physically: 3 distinct leaves + shared
+	// ancestors, well under the 5×4 logical walks.
+	if tr.PhysicalHashes() >= uint64(n) {
+		t.Errorf("PhysicalHashes = %d, want < %d", tr.PhysicalHashes(), n)
+	}
+}
+
+func TestSweepIdempotentAndEmpty(t *testing.T) {
+	tr, _ := newTestTree(t, 3)
+	if n := tr.Sweep(); n != 0 {
+		t.Errorf("empty sweep hashed %d nodes", n)
+	}
+	tr.Update(4, lineBytes(0, 1))
+	if n := tr.Sweep(); n == 0 {
+		t.Error("sweep of staged update hashed nothing")
+	}
+	if n := tr.Sweep(); n != 0 {
+		t.Errorf("second sweep hashed %d nodes", n)
+	}
+}
+
 func TestHeightModelNone(t *testing.T) {
 	cfg := config.Default()
 	m := NewHeightModel(cfg)
@@ -262,7 +361,10 @@ func BenchmarkTreeUpdate(b *testing.B) {
 	line := lineBytes(1, 2, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Update + Sweep = one full physical leaf-to-root walk,
+		// comparable to the former eager Update.
 		tr.Update(uint64(i%4096), line)
+		tr.Sweep()
 	}
 }
 

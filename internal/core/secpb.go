@@ -323,6 +323,9 @@ func (s *SecPB) DrainProcess(asid uint16) (entries int, total nvm.Cost, err erro
 	for {
 		e := s.buf.DrainOldestWhere(func(e *Entry) bool { return e.ASID == asid })
 		if e == nil {
+			// End of the sec-sync epoch: commit the staged BMT walks in
+			// one coalesced sweep.
+			s.mc.CompleteSweep()
 			return entries, total, nil
 		}
 		cost, perr := s.mc.PersistBlock(e.Block, e.Data, e.Ext.prepared())
@@ -344,6 +347,10 @@ func (s *SecPB) CrashDrain() (entries int, total nvm.Cost, err error) {
 			return entries, total, derr
 		}
 		if e == nil {
+			// The battery-powered drain is one epoch: all staged BMT
+			// walks commit in a single coalesced sweep before the
+			// recovery observer inspects the image.
+			s.mc.CompleteSweep()
 			return entries, total, nil
 		}
 		entries++

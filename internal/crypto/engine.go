@@ -20,25 +20,43 @@ const MACSize = 64
 // Counter-mode encryption with address-dependent seeds is the split
 // counter scheme of Yan et al. used by the paper: the OTP depends only on
 // the data-value-independent (address, counter) pair, never on the data.
+//
+// MAC and HashNode are keyed-midstate constructions over a full 128-byte
+// key block (see fast512.go): the hot path restores a cached midstate and
+// compresses a single final block via stdlib crypto/sha512, while
+// MACReference / HashNodeReference recompute the same digests on the
+// hand-rolled SHA512 for differential testing.
 type Engine struct {
 	aes    *Cipher
 	macKey [32]byte
-	// scratch is the reusable hash state: the engine models one
-	// hardware unit and is not safe for concurrent use.
-	scratch *SHA512
+	// fast is the per-engine stdlib digest (plus scratch) the midstates
+	// are restored into; macMid/nodeMid are the shared, immutable
+	// key-block midstates. The engine models one hardware unit and is
+	// not safe for concurrent use.
+	fast    *fastHasher
+	macMid  []byte
+	nodeMid []byte
+	fastOK  bool
 }
 
 // derived is the cacheable, immutable part of an engine: the expanded
-// AES key schedule and the MAC sub-key. Experiment sweeps build hundreds
-// of controllers under the same master key (one per simulated system);
-// caching the derivation means the SHA-512 key stretch and the Rijndael
-// key expansion run once per distinct key, not once per simulation. The
-// *Cipher is shared across engines — it is immutable and safe for
-// concurrent use.
+// AES key schedule, the MAC sub-key, and the key-block midstates for the
+// fast hash path. Experiment sweeps build hundreds of controllers under
+// the same master key (one per simulated system); caching the derivation
+// means the SHA-512 key stretch, the Rijndael key expansion, and the two
+// midstate captures run once per distinct key, not once per simulation.
+// The *Cipher and midstate slices are shared across engines — they are
+// immutable and safe for concurrent use.
 type derived struct {
-	aes    *Cipher
-	macKey [32]byte
+	aes     *Cipher
+	macKey  [32]byte
+	macMid  []byte
+	nodeMid []byte
+	fastOK  bool
 }
+
+// deriveCacheMax bounds deriveCache growth under adversarial key churn.
+const deriveCacheMax = 1024
 
 var (
 	deriveMu    sync.RWMutex
@@ -47,9 +65,9 @@ var (
 
 // NewEngine returns an engine keyed by the given secret. Different key
 // material is derived internally for encryption and authentication.
-// Engines sharing a key share the (read-only) key schedule but carry
-// private hash scratch state; each engine instance remains single-
-// threaded, as before.
+// Engines sharing a key share the (read-only) key schedule and hash
+// midstates but carry private hash scratch state; each engine instance
+// remains single-threaded, as before.
 func NewEngine(key []byte) (*Engine, error) {
 	k := string(key)
 	deriveMu.RLock()
@@ -65,14 +83,38 @@ func NewEngine(key []byte) (*Engine, error) {
 		}
 		d = derived{aes: aes}
 		copy(d.macKey[:], sum[16:48])
+		macBlock := keyBlock(&d.macKey)
+		nodeBlock := keyBlock(&d.macKey, 0xB7) // domain separation from MAC
+		macMid, okMAC := midstate(&macBlock)
+		nodeMid, okNode := midstate(&nodeBlock)
+		d.fastOK = okMAC && okNode
+		if d.fastOK {
+			d.macMid, d.nodeMid = macMid, nodeMid
+		}
 		deriveMu.Lock()
-		if len(deriveCache) >= 1024 { // bound growth under adversarial key churn
-			deriveCache = map[string]derived{}
+		if len(deriveCache) >= deriveCacheMax {
+			// Evict one random entry (map iteration order is
+			// randomized) instead of flushing the whole cache: a full
+			// flush evicted every hot key mid-sweep and forced all
+			// concurrent simulations to re-derive at once.
+			for old := range deriveCache {
+				delete(deriveCache, old)
+				break
+			}
 		}
 		deriveCache[k] = d
 		deriveMu.Unlock()
 	}
-	return &Engine{aes: d.aes, macKey: d.macKey, scratch: NewSHA512()}, nil
+	e := &Engine{aes: d.aes, macKey: d.macKey}
+	if d.fastOK {
+		if fast, ok := newFastHasher(); ok {
+			e.fast = fast
+			e.macMid = d.macMid
+			e.nodeMid = d.nodeMid
+			e.fastOK = true
+		}
+	}
+	return e, nil
 }
 
 // OTP computes the 64-byte one-time pad for a block at the given physical
@@ -117,28 +159,69 @@ func (e *Engine) Decrypt(cipher *[CacheLineSize]byte, blockAddr, counter uint64)
 // counter). Binding the address defeats splicing and the counter defeats
 // (counter-aware) replay; freshness of the counter itself is guaranteed
 // by the BMT.
+//
+// The 80-byte (header || ciphertext) tail always fits the single-block
+// fast path, so a MAC costs one SHA-512 compression from the cached key
+// midstate.
 func (e *Engine) MAC(cipher *[CacheLineSize]byte, blockAddr, counter uint64) [MACSize]byte {
-	s := e.scratch
-	s.Reset()
-	s.Write(e.macKey[:])
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:], blockAddr)
-	binary.LittleEndian.PutUint64(hdr[8:], counter)
-	s.Write(hdr[:])
-	s.Write(cipher[:])
-	var tag [MACSize]byte
-	s.Sum(tag[:0])
-	return tag
+	if e.fastOK {
+		var tail [16 + CacheLineSize]byte
+		binary.LittleEndian.PutUint64(tail[0:], blockAddr)
+		binary.LittleEndian.PutUint64(tail[8:], counter)
+		copy(tail[16:], cipher[:])
+		var tag [MACSize]byte
+		if e.fast.oneBlock(e.macMid, tail[:], &tag) {
+			return tag
+		}
+	}
+	return e.MACReference(cipher, blockAddr, counter)
+}
+
+// MACReference computes the same tag as MAC on the hand-rolled SHA512,
+// by literally assembling the documented message
+//
+//	macBlock || addr || ctr || ct
+//
+// and hashing it in one shot. It is the differential-test oracle for
+// the fast path and the fallback when state capture is unavailable;
+// like the other reference implementations it favors obvious
+// correctness over speed.
+func (e *Engine) MACReference(cipher *[CacheLineSize]byte, blockAddr, counter uint64) [MACSize]byte {
+	block := keyBlock(&e.macKey)
+	msg := make([]byte, 0, BlockBytes+16+CacheLineSize)
+	msg = append(msg, block[:]...)
+	msg = binary.LittleEndian.AppendUint64(msg, blockAddr)
+	msg = binary.LittleEndian.AppendUint64(msg, counter)
+	msg = append(msg, cipher[:]...)
+	return Sum512(msg)
 }
 
 // HashNode computes a keyed BMT node hash over arbitrary child material.
+// BMT interior nodes (8 children × 8-byte digests = 64 bytes) fit the
+// single-compression fast path; longer inputs stream through the stdlib
+// digest from the same midstate.
 func (e *Engine) HashNode(children []byte) [Size512]byte {
-	s := e.scratch
-	s.Reset()
-	s.Write(e.macKey[:])
-	s.Write([]byte{0xB7}) // domain separation from MAC
-	s.Write(children)
-	var out [Size512]byte
-	s.Sum(out[:0])
-	return out
+	if e.fastOK {
+		var out [Size512]byte
+		if len(children) <= maxOneBlockTail {
+			if e.fast.oneBlock(e.nodeMid, children, &out) {
+				return out
+			}
+		} else if e.fast.long(e.nodeMid, children, &out) {
+			return out
+		}
+	}
+	return e.HashNodeReference(children)
+}
+
+// HashNodeReference computes the same digest as HashNode on the
+// hand-rolled SHA512, assembling the documented nodeBlock || children
+// message and hashing it in one shot, favoring obvious correctness over
+// speed.
+func (e *Engine) HashNodeReference(children []byte) [Size512]byte {
+	block := keyBlock(&e.macKey, 0xB7)
+	msg := make([]byte, 0, BlockBytes+len(children))
+	msg = append(msg, block[:]...)
+	msg = append(msg, children...)
+	return Sum512(msg)
 }

@@ -30,8 +30,16 @@ var sha512K = [80]uint64{
 	0x4cc5d4becb3e42b6, 0x597f299cfc657e2a, 0x5fcb6fab3ad6faec, 0x6c44198c4a475817,
 }
 
+// BlockBytes is the SHA-512 compression block size.
+const BlockBytes = 128
+
 // SHA512 is an incremental SHA-512 hash. The zero value is NOT valid;
 // construct with NewSHA512.
+//
+// This is the hand-rolled reference implementation: the engine's hot
+// paths (MAC, BMT node hashes) run on the stdlib-backed fast path in
+// fast512.go, and differential tests cross-check every fast-path digest
+// against this one. Keep it simple and obviously correct.
 type SHA512 struct {
 	h   [8]uint64
 	buf [128]byte
@@ -58,7 +66,13 @@ func (s *SHA512) Reset() {
 
 func rotr64(x uint64, k uint) uint64 { return x>>k | x<<(64-k) }
 
-func (s *SHA512) block(p []byte) {
+func (s *SHA512) block(p []byte) { sha512Blocks(&s.h, p) }
+
+// sha512Blocks runs the SHA-512 compression function over every full
+// 128-byte block of p, updating h in place. Factoring it free of the
+// SHA512 struct lets finalization work on a copy of the eight hash words
+// alone instead of duplicating the whole ~200B state.
+func sha512Blocks(h8 *[8]uint64, p []byte) {
 	var w [80]uint64
 	for len(p) >= 128 {
 		for i := 0; i < 16; i++ {
@@ -69,7 +83,7 @@ func (s *SHA512) block(p []byte) {
 			s1 := rotr64(w[i-2], 19) ^ rotr64(w[i-2], 61) ^ (w[i-2] >> 6)
 			w[i] = w[i-16] + s0 + w[i-7] + s1
 		}
-		a, b, c, d, e, f, g, h := s.h[0], s.h[1], s.h[2], s.h[3], s.h[4], s.h[5], s.h[6], s.h[7]
+		a, b, c, d, e, f, g, h := h8[0], h8[1], h8[2], h8[3], h8[4], h8[5], h8[6], h8[7]
 		for i := 0; i < 80; i++ {
 			S1 := rotr64(e, 14) ^ rotr64(e, 18) ^ rotr64(e, 41)
 			ch := (e & f) ^ (^e & g)
@@ -79,14 +93,14 @@ func (s *SHA512) block(p []byte) {
 			t2 := S0 + maj
 			h, g, f, e, d, c, b, a = g, f, e, d+t1, c, b, a, t1+t2
 		}
-		s.h[0] += a
-		s.h[1] += b
-		s.h[2] += c
-		s.h[3] += d
-		s.h[4] += e
-		s.h[5] += f
-		s.h[6] += g
-		s.h[7] += h
+		h8[0] += a
+		h8[1] += b
+		h8[2] += c
+		h8[3] += d
+		h8[4] += e
+		h8[5] += f
+		h8[6] += g
+		h8[7] += h
 		p = p[128:]
 	}
 }
@@ -119,31 +133,41 @@ func (s *SHA512) Write(p []byte) (int, error) {
 // result. The hash state is not modified, so more data may be written
 // afterwards.
 func (s *SHA512) Sum(b []byte) []byte {
-	// Work on a copy so Sum is non-destructive.
-	d := *s
-	var pad [256]byte
-	pad[0] = 0x80
-	// Message length in bits as a 128-bit big-endian integer; the high
-	// 64 bits are always zero for lengths representable in uint64 bytes.
-	padLen := (128 - (int(d.len%128) + 17)) % 128
-	if padLen < 0 {
-		padLen += 128
-	}
-	binary.BigEndian.PutUint64(pad[1+padLen+8:], d.len<<3)
-	pad[1+padLen+7] = byte(d.len >> 61)
-	d.Write(pad[:1+padLen+16])
 	var out [Size512]byte
-	for i, v := range d.h {
-		binary.BigEndian.PutUint64(out[8*i:], v)
-	}
+	s.SumInto(&out)
 	return append(b, out[:]...)
 }
 
-// Sum512 returns the SHA-512 digest of data.
+// SumInto finalizes the digest into out without modifying the hash
+// state and without heap allocation: only the eight hash words are
+// copied (not the whole buffered state), and the padded tail — at most
+// two blocks — is assembled in a stack buffer and compressed directly.
+func (s *SHA512) SumInto(out *[Size512]byte) {
+	h := s.h
+	var tail [2 * BlockBytes]byte
+	n := copy(tail[:], s.buf[:s.n])
+	tail[n] = 0x80
+	// The message length in bits is a 128-bit big-endian integer; the
+	// high 64 bits carry only the bits shifted out of len<<3.
+	tlen := BlockBytes
+	if n+17 > BlockBytes {
+		tlen = 2 * BlockBytes
+	}
+	binary.BigEndian.PutUint64(tail[tlen-16:], s.len>>61)
+	binary.BigEndian.PutUint64(tail[tlen-8:], s.len<<3)
+	sha512Blocks(&h, tail[:tlen])
+	for i, v := range h {
+		binary.BigEndian.PutUint64(out[8*i:], v)
+	}
+}
+
+// Sum512 returns the SHA-512 digest of data using the hand-rolled
+// reference implementation.
 func Sum512(data []byte) [Size512]byte {
-	s := NewSHA512()
+	var s SHA512
+	s.Reset()
 	s.Write(data)
 	var out [Size512]byte
-	copy(out[:], s.Sum(nil))
+	s.SumInto(&out)
 	return out
 }

@@ -44,11 +44,19 @@ func (cl *CounterLine) PutBytes(buf []byte) {
 	copy(buf[8:], cl.Minors[:])
 }
 
+// AppendBytes appends the line's serialization to dst and returns the
+// extended slice. Replay loops that feed many lines into a BMT batch
+// update use it with one reusable scratch buffer instead of allocating
+// per line.
+func (cl *CounterLine) AppendBytes(dst []byte) []byte {
+	var buf [LineBytesLen]byte
+	cl.PutBytes(buf[:])
+	return append(dst, buf[:]...)
+}
+
 // Bytes serializes the line for hashing as a BMT leaf.
 func (cl *CounterLine) Bytes() []byte {
-	buf := make([]byte, LineBytesLen)
-	cl.PutBytes(buf)
-	return buf
+	return cl.AppendBytes(make([]byte, 0, LineBytesLen))
 }
 
 // CounterStore holds the split counters for the whole PM, created lazily

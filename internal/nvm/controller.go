@@ -228,10 +228,27 @@ func (c *Controller) walkBMT(b addr.Block, update bool) Cost {
 		}
 	}
 	if update {
+		// Update stages the walk in the tree's dirty-leaf set; the
+		// physical hashing is coalesced into the next sweep (see
+		// CompleteSweep). Cost accounting above stays per-walk.
 		c.ctrs.Line(page).PutBytes(c.lineBuf[:])
 		c.tree.Update(page, c.lineBuf[:])
 	}
 	return cost
+}
+
+// CompleteSweep commits all BMT updates staged by drained blocks with one
+// deduplicated bottom-up sweep, hashing each shared interior node once
+// instead of once per drained line. Drain loops call it at the end of a
+// drain burst/epoch; any read-path verification triggers the same sweep
+// implicitly, so calling it affects only wall-clock, never results or
+// Cost statistics. It returns the number of physical node hashes the
+// sweep computed.
+func (c *Controller) CompleteSweep() int {
+	if !c.secure {
+		return 0
+	}
+	return c.tree.Sweep()
 }
 
 // NextCounter returns the counter value a new SecPB entry should carry:

@@ -8,3 +8,12 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Benchmarks must at least compile and run one iteration: the perf
+# report scripts depend on them, and a bench-only regression would
+# otherwise go unnoticed until the next perf run.
+go test -run '^$' -bench . -benchtime 1x ./...
+
+# Crypto differential fuzzers on their seed corpora: the fast SHA-512
+# path must agree with the hand-rolled reference on every gate run.
+go test -run Fuzz ./internal/crypto/...

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Regenerates the raw measurements behind BENCH_PR1.json:
-#   1. engine/crypto micro-benchmarks (ns/op),
+# Regenerates the raw measurements behind BENCH_PR1.json / BENCH_PR2.json:
+#   1. engine/crypto micro-benchmarks (ns/op), including the hash layer
+#      (fast-path vs reference MAC/HashNode, per-walk vs batched BMT),
 #   2. serial vs parallel table4 sweep wall-clock, with an output
 #      byte-identity check across parallelism levels.
 #
@@ -18,6 +19,10 @@ mkdir -p "$out"
 echo "== micro-benchmarks =="
 go test -bench 'BenchmarkEngineStore|BenchmarkEngineLoad|BenchmarkOTPGen|BenchmarkTable4Grid|BenchmarkEngineBBB|BenchmarkEngineCOBCM|BenchmarkEngineNoGap|BenchmarkEngineSP' \
     -benchtime 2s -run '^$' . | tee "$out/bench.txt"
+
+echo "== hash-layer micro-benchmarks =="
+go test -bench 'BenchmarkMAC$|BenchmarkMACReference$|BenchmarkHashNode$|BenchmarkHashNodeReference$|BenchmarkBMTUpdate$|BenchmarkBMTBatchDrain$' \
+    -benchmem -benchtime 2s -run '^$' . | tee "$out/bench_hash.txt"
 
 echo "== table4 sweep: serial vs parallel =="
 go build -o "$out/secpb-bench" ./cmd/secpb-bench
