@@ -10,6 +10,7 @@ package secpb
 import (
 	"testing"
 
+	"secpb/internal/addr"
 	"secpb/internal/bmt"
 	"secpb/internal/config"
 	"secpb/internal/crypto"
@@ -17,6 +18,7 @@ import (
 	"secpb/internal/engine"
 	"secpb/internal/harness"
 	"secpb/internal/meta"
+	"secpb/internal/ptable"
 	"secpb/internal/trace"
 	"secpb/internal/workload"
 )
@@ -208,8 +210,27 @@ func BenchmarkEngineLoad(b *testing.B) {
 }
 
 // BenchmarkOTPGen measures one 64-byte one-time-pad generation (four AES
-// block encryptions) — the crypto engine's hottest primitive.
+// block encryptions) — the crypto engine's hottest primitive, in the
+// write-into form the store and drain paths use.
 func BenchmarkOTPGen(b *testing.B) {
+	e, err := crypto.NewEngine([]byte("bench-key"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pad [crypto.CacheLineSize]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		e.OTPInto(&pad, uint64(i)<<6, uint64(i))
+		sink ^= pad[0]
+	}
+	_ = sink
+}
+
+// BenchmarkOTPGenReference measures the same pad on the hand-rolled
+// T-table AES (the pre-overhaul cost and differential-test oracle).
+func BenchmarkOTPGenReference(b *testing.B) {
 	e, err := crypto.NewEngine([]byte("bench-key"))
 	if err != nil {
 		b.Fatal(err)
@@ -218,7 +239,7 @@ func BenchmarkOTPGen(b *testing.B) {
 	b.ResetTimer()
 	var sink byte
 	for i := 0; i < b.N; i++ {
-		pad := e.OTP(uint64(i)<<6, uint64(i))
+		pad := e.OTPReference(uint64(i)<<6, uint64(i))
 		sink ^= pad[0]
 	}
 	_ = sink
@@ -351,4 +372,114 @@ func BenchmarkTable4Grid(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Data-plane micro-benchmarks: the paged state table against the map it
+// replaced, batched against scalar trace replay, and the memoized
+// experiment sweep.
+
+// BenchmarkPTableVsMap compares the paged direct-index table against a
+// Go map over the engine's actual access shape: a dense block-index
+// working set, ~1/8 inserts, 7/8 re-lookups.
+func BenchmarkPTableVsMap(b *testing.B) {
+	const ws = 1 << 14
+	b.Run("ptable", func(b *testing.B) {
+		t := ptable.New[[addr.BlockBytes]byte]()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			blk, _ := t.GetOrCreate(uint64(i*7) % ws)
+			blk[i&63] = byte(i)
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		m := make(map[uint64]*[addr.BlockBytes]byte)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := uint64(i*7) % ws
+			blk, ok := m[k]
+			if !ok {
+				blk = new([addr.BlockBytes]byte)
+				m[k] = blk
+			}
+			blk[i&63] = byte(i)
+		}
+	})
+}
+
+// BenchmarkRunBatchVsRun compares a full simulation driven through the
+// scalar Source loop against the columnar batched replay on the same
+// generated stream.
+func BenchmarkRunBatchVsRun(b *testing.B) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := config.Default().WithScheme(config.SchemeCOBCM)
+	const nops = 10_000
+	b.Run("scalar", func(b *testing.B) {
+		ops, err := workload.Generate(prof, cfg.Seed, nops)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng, err := engine.New(cfg, prof, []byte("bench-key"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Run(trace.NewSliceSource(ops)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gen, err := workload.NewGenerator(prof, cfg.Seed, nops)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := engine.New(cfg, prof, []byte("bench-key"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Run(gen); err != nil { // dispatches to RunBatch
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExpAllMemoized measures the overlapping Table IV + Figure 6
+// + Figure 7 sweep with and without the cell cache: the grids share
+// most of their cells, so the memoized run simulates each unique cell
+// once and replays the rest.
+func BenchmarkExpAllMemoized(b *testing.B) {
+	sweep := func(b *testing.B, o harness.Options) {
+		if _, _, err := harness.Table4(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := harness.Figure6(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := harness.Figure7(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("memo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := benchOpts()
+			o.Memo = harness.NewCellMemo()
+			sweep(b, o)
+		}
+	})
+	b.Run("nomemo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(b, benchOpts())
+		}
+	})
 }

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -29,23 +31,64 @@ var allExperiments = []string{
 	"stats", "ablation", "gaps", "sensitivity",
 }
 
+// main delegates to benchMain so deferred cleanup (profile writers)
+// runs before the process exits — os.Exit skips defers.
 func main() {
+	os.Exit(benchMain())
+}
+
+func benchMain() int {
 	var (
 		exp      = flag.String("exp", "all", "experiments: all or comma list of "+strings.Join(allExperiments, ","))
 		ops      = flag.Uint64("ops", 100_000, "memory operations per benchmark per configuration")
 		benches  = flag.String("bench", "", "comma list of benchmarks (default: all 18)")
 		entries  = flag.Int("secpb", 32, "SecPB entries for the default configuration")
 		parallel = flag.Int("parallel", 0, "simulation workers (0 = one per CPU core, 1 = serial); output is identical at any value")
+		memo     = flag.Bool("memo", true, "cache simulation cells by content so overlapping experiment grids simulate each unique (config, benchmark, ops) cell once; output is identical either way")
 		verbose  = flag.Bool("v", false, "print per-simulation progress")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of rendered text")
 		timing   = flag.String("timing", "", "write per-experiment wall-clock timings as JSON to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secpb-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "secpb-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err == nil {
+				runtime.GC() // settle the heap so the profile shows retained memory
+				err = pprof.WriteHeapProfile(f)
+			}
+			if err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "secpb-bench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	opt := harness.DefaultOptions()
 	opt.Ops = *ops
 	opt.Cfg = config.Default().WithSecPBEntries(*entries)
 	opt.Parallelism = *parallel
+	if *memo {
+		opt.Memo = harness.NewCellMemo()
+	}
 	if *benches != "" {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -74,8 +117,9 @@ func main() {
 	jsonOut := map[string]interface{}{}
 	timings := map[string]float64{}
 	startAll := time.Now()
+	failed := false
 	run := func(name string, fn func() (fmt.Stringer, interface{}, error)) {
-		if !want[name] {
+		if failed || !want[name] {
 			return
 		}
 		delete(want, name)
@@ -85,7 +129,8 @@ func main() {
 		timings[name] = time.Since(start).Seconds()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "secpb-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			failed = true
+			return
 		}
 		if *asJSON {
 			if raw == nil {
@@ -142,17 +187,24 @@ func main() {
 		return tab, nil, err
 	})
 
+	if failed {
+		return 1
+	}
 	for leftover := range want {
 		fmt.Fprintf(os.Stderr, "secpb-bench: unknown experiment %q\n", leftover)
-		os.Exit(2)
+		return 2
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "secpb-bench: encoding JSON: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
+	}
+	if *verbose && opt.Memo != nil {
+		hits, misses := opt.Memo.Stats()
+		fmt.Fprintf(os.Stderr, "memo: %d unique cells simulated, %d duplicate cells reused\n", misses, hits)
 	}
 	if *timing != "" {
 		workers := *parallel
@@ -165,13 +217,19 @@ func main() {
 			"experiments_s": timings,
 			"total_s":       time.Since(startAll).Seconds(),
 		}
+		if opt.Memo != nil {
+			hits, misses := opt.Memo.Stats()
+			report["memo_hits"] = hits
+			report["memo_misses"] = misses
+		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*timing, append(data, '\n'), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "secpb-bench: writing timing report: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

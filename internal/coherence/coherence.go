@@ -152,12 +152,13 @@ func (s *System) Store(id int, byteAddr uint64, size int, val uint64) error {
 			return err
 		}
 	}
-	_, err := s.cores[id].AcceptStoreInit(0, block, off, size, val, &cur, 0)
+	var cost core.AcceptCost
+	err := s.cores[id].AcceptStoreInit(0, block, off, size, val, &cur, 0, &cost)
 	if errors.Is(err, pb.ErrFull) {
 		if err := s.makeRoom(id); err != nil {
 			return err
 		}
-		_, err = s.cores[id].AcceptStoreInit(0, block, off, size, val, &cur, 0)
+		err = s.cores[id].AcceptStoreInit(0, block, off, size, val, &cur, 0, &cost)
 	}
 	if err != nil {
 		return err

@@ -46,21 +46,21 @@ type SecMeta struct {
 	MACValid       bool
 }
 
-// prepared converts the entry's valid fields into the drain-side
-// PreparedMeta the memory controller consumes.
-func (m *SecMeta) prepared() nvm.PreparedMeta {
-	return nvm.PreparedMeta{
-		CounterDone:    m.CounterValid,
-		Counter:        m.Counter,
-		CounterAdvance: m.CounterAdvance,
-		OTPDone:        m.OTPValid,
-		OTP:            m.OTP,
-		CipherDone:     m.CipherValid,
-		Cipher:         m.Cipher,
-		MACDone:        m.MACValid,
-		MAC:            m.MAC,
-		BMTDone:        m.BMTDone,
-	}
+// preparedInto fills the drain-side PreparedMeta the memory controller
+// consumes from the entry's valid fields. Writing into a caller-owned
+// struct (the SecPB's drain scratch) instead of returning by value
+// keeps the ~280-byte struct off the per-drain copy path.
+func (m *SecMeta) preparedInto(p *nvm.PreparedMeta) {
+	p.CounterDone = m.CounterValid
+	p.Counter = m.Counter
+	p.CounterAdvance = m.CounterAdvance
+	p.OTPDone = m.OTPValid
+	p.OTP = m.OTP
+	p.CipherDone = m.CipherValid
+	p.Cipher = m.Cipher
+	p.MACDone = m.MACValid
+	p.MAC = m.MAC
+	p.BMTDone = m.BMTDone
 }
 
 // Entry is a SecPB entry.
@@ -87,6 +87,10 @@ type SecPB struct {
 	early  config.EarlyWork
 	buf    *pb.Buffer[SecMeta]
 	mc     *nvm.Controller
+
+	// prep is the drain-path scratch PreparedMeta handed to
+	// PersistBlock by pointer; the SecPB is single-threaded.
+	prep nvm.PreparedMeta
 
 	// Statistics.
 	stores       uint64
@@ -174,34 +178,38 @@ func (s *SecPB) AcceptStoreFor(asid uint16, b addr.Block, off, size int, val uin
 	if err != nil {
 		return AcceptCost{}, err
 	}
-	return s.acceptEntry(entry, allocated, b)
+	var cost AcceptCost
+	err = s.acceptEntry(entry, allocated, b, &cost)
+	return cost, err
 }
 
 // AcceptStoreInit is the closure-free hot-path form of AcceptStoreFor:
 // init, if non-nil, points at the block's current contents (copied only
 // on allocation), and allocAt stamps the new entry's point-of-persistency
-// cycle for the battery-exposure histogram.
-func (s *SecPB) AcceptStoreInit(asid uint16, b addr.Block, off, size int, val uint64, init *[addr.BlockBytes]byte, allocAt uint64) (AcceptCost, error) {
+// cycle for the battery-exposure histogram. The accept cost fills the
+// caller's out-param — AcceptCost embeds an nvm.Cost and returning it
+// by value through two call layers was a measurable per-store copy.
+func (s *SecPB) AcceptStoreInit(asid uint16, b addr.Block, off, size int, val uint64, init *[addr.BlockBytes]byte, allocAt uint64, cost *AcceptCost) error {
 	entry, allocated, err := s.buf.WriteInit(asid, b, off, size, val, init)
 	if err != nil {
-		return AcceptCost{}, err
+		return err
 	}
 	if allocated {
 		entry.AllocCycle = allocAt
 	}
-	return s.acceptEntry(entry, allocated, b)
+	return s.acceptEntry(entry, allocated, b, cost)
 }
 
 // acceptEntry performs the scheme's early security-metadata work for a
-// store just coalesced into entry.
-func (s *SecPB) acceptEntry(entry *Entry, allocated bool, b addr.Block) (AcceptCost, error) {
+// store just coalesced into entry, filling *cost.
+func (s *SecPB) acceptEntry(entry *Entry, allocated bool, b addr.Block, cost *AcceptCost) error {
 	s.stores++
-	cost := AcceptCost{Allocated: allocated}
+	*cost = AcceptCost{Allocated: allocated}
 	if allocated {
 		s.allocs++
 	}
 	if s.scheme == config.SchemeBBB {
-		return cost, nil
+		return nil
 	}
 
 	// Per-entry (data-value-independent) early work, performed once at
@@ -220,8 +228,7 @@ func (s *SecPB) acceptEntry(entry *Entry, allocated bool, b addr.Block) (AcceptC
 			cost.CounterStep = true
 		}
 		if s.early.OTP {
-			otp, _ := s.mc.MakeOTP(b, entry.Ext.Counter)
-			entry.Ext.OTP = otp
+			s.mc.MakeOTPInto(&entry.Ext.OTP, b, entry.Ext.Counter)
 			entry.Ext.OTPValid = true
 			cost.OTPGenerated = true
 			s.earlyOTP++
@@ -244,13 +251,12 @@ func (s *SecPB) acceptEntry(entry *Entry, allocated bool, b addr.Block) (AcceptC
 		s.earlyXOR++
 	}
 	if s.early.MAC && entry.Ext.CipherValid {
-		mac, _ := s.mc.MakeMAC(b, &entry.Ext.Cipher, entry.Ext.Counter)
-		entry.Ext.MAC = mac
+		s.mc.MakeMACInto(&entry.Ext.MAC, b, &entry.Ext.Cipher, entry.Ext.Counter)
 		entry.Ext.MACValid = true
 		cost.MACGenerated = true
 		s.earlyMAC++
 	}
-	return cost, nil
+	return nil
 }
 
 // DrainOne removes the oldest entry and completes its memory tuple at
@@ -261,7 +267,8 @@ func (s *SecPB) DrainOne() (*Entry, nvm.Cost, error) {
 	if e == nil {
 		return nil, nvm.Cost{}, nil
 	}
-	cost, err := s.mc.PersistBlock(e.Block, e.Data, e.Ext.prepared())
+	e.Ext.preparedInto(&s.prep)
+	cost, err := s.mc.PersistBlock(e.Block, &e.Data, &s.prep)
 	return e, cost, err
 }
 
@@ -310,7 +317,8 @@ func (s *SecPB) FlushBlock(b addr.Block) (bool, nvm.Cost, error) {
 	if e == nil {
 		return false, nvm.Cost{}, nil
 	}
-	cost, err := s.mc.PersistBlock(e.Block, e.Data, e.Ext.prepared())
+	e.Ext.preparedInto(&s.prep)
+	cost, err := s.mc.PersistBlock(e.Block, &e.Data, &s.prep)
 	return true, cost, err
 }
 
@@ -328,7 +336,8 @@ func (s *SecPB) DrainProcess(asid uint16) (entries int, total nvm.Cost, err erro
 			s.mc.CompleteSweep()
 			return entries, total, nil
 		}
-		cost, perr := s.mc.PersistBlock(e.Block, e.Data, e.Ext.prepared())
+		e.Ext.preparedInto(&s.prep)
+		cost, perr := s.mc.PersistBlock(e.Block, &e.Data, &s.prep)
 		if perr != nil {
 			return entries, total, perr
 		}

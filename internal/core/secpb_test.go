@@ -249,7 +249,7 @@ func TestReencryptionInvalidatesPreparedMeta(t *testing.T) {
 	resident := addr.BlockOf(0x9040) // same page
 	// Overflow needs 256 persists of hot.
 	for i := 0; i < 255; i++ {
-		if _, err := mc.PersistBlock(hot, [addr.BlockBytes]byte{}, nvm.PreparedMeta{}); err != nil {
+		if _, err := mc.PersistBlock(hot, &[addr.BlockBytes]byte{}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -260,7 +260,7 @@ func TestReencryptionInvalidatesPreparedMeta(t *testing.T) {
 		t.Fatal("NoGap entry should have valid MAC")
 	}
 	// 256th persist triggers page re-encryption -> hook fires.
-	if _, err := mc.PersistBlock(hot, [addr.BlockBytes]byte{}, nvm.PreparedMeta{}); err != nil {
+	if _, err := mc.PersistBlock(hot, &[addr.BlockBytes]byte{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if s.Invalidations() != 1 {

@@ -1,6 +1,8 @@
 package crypto
 
 import (
+	"crypto/aes"
+	"crypto/cipher"
 	"encoding/binary"
 	"sync"
 )
@@ -27,8 +29,14 @@ const MACSize = 64
 // MACReference / HashNodeReference recompute the same digests on the
 // hand-rolled SHA512 for differential testing.
 type Engine struct {
-	aes    *Cipher
-	macKey [32]byte
+	aes *Cipher
+	// fastAES is the stdlib AES cipher for the same sub-key: on amd64 it
+	// compiles to AES-NI instructions, so the pad-generation hot path
+	// costs a few cycles per block instead of a T-table round loop. The
+	// hand-rolled Cipher remains the differential-test reference
+	// (OTPReference, FuzzOTPFastVsReference).
+	fastAES cipher.Block
+	macKey  [32]byte
 	// fast is the per-engine stdlib digest (plus scratch) the midstates
 	// are restored into; macMid/nodeMid are the shared, immutable
 	// key-block midstates. The engine models one hardware unit and is
@@ -37,6 +45,13 @@ type Engine struct {
 	macMid  []byte
 	nodeMid []byte
 	fastOK  bool
+	// otpSeed/otpPad are per-engine scratch for pad generation. Stack
+	// arrays sliced into the cipher.Block interface call escape to the
+	// heap; routing them through these fields keeps OTPInto (and the
+	// Encrypt/Decrypt convenience wrappers) allocation-free. The engine
+	// models one hardware unit and is not concurrency-safe.
+	otpSeed [BlockSize]byte
+	otpPad  [CacheLineSize]byte
 }
 
 // derived is the cacheable, immutable part of an engine: the expanded
@@ -49,6 +64,7 @@ type Engine struct {
 // immutable and safe for concurrent use.
 type derived struct {
 	aes     *Cipher
+	fastAES cipher.Block
 	macKey  [32]byte
 	macMid  []byte
 	nodeMid []byte
@@ -77,11 +93,18 @@ func NewEngine(key []byte) (*Engine, error) {
 		// Derive independent sub-keys via SHA-512 so a single master
 		// secret configures the whole engine.
 		sum := Sum512(append([]byte("secpb-engine-v1:"), key...))
-		aes, err := NewCipher(sum[:16]) // AES-128 pad generator
+		aesRef, err := NewCipher(sum[:16]) // AES-128 pad generator
 		if err != nil {
 			return nil, err
 		}
-		d = derived{aes: aes}
+		d = derived{aes: aesRef}
+		// The stdlib cipher is pure acceleration: same AES-128 under the
+		// same sub-key, hardware instructions where available. A nil
+		// fastAES (cannot happen for a valid 16-byte key) would simply
+		// leave the reference path in use.
+		if std, err := aes.NewCipher(sum[:16]); err == nil {
+			d.fastAES = std
+		}
 		copy(d.macKey[:], sum[16:48])
 		macBlock := keyBlock(&d.macKey)
 		nodeBlock := keyBlock(&d.macKey, 0xB7) // domain separation from MAC
@@ -105,7 +128,7 @@ func NewEngine(key []byte) (*Engine, error) {
 		deriveCache[k] = d
 		deriveMu.Unlock()
 	}
-	e := &Engine{aes: d.aes, macKey: d.macKey}
+	e := &Engine{aes: d.aes, fastAES: d.fastAES, macKey: d.macKey}
 	if d.fastOK {
 		if fast, ok := newFastHasher(); ok {
 			e.fast = fast
@@ -119,8 +142,34 @@ func NewEngine(key []byte) (*Engine, error) {
 
 // OTP computes the 64-byte one-time pad for a block at the given physical
 // block address with the given counter value. The pad is the AES
-// encryption of four distinct (addr, counter, lane) seeds.
+// encryption of four distinct (addr, counter, lane) seeds. The stdlib
+// cipher (AES-NI on amd64) computes it when available; OTPReference is
+// the hand-rolled oracle the differential fuzzer holds it against.
 func (e *Engine) OTP(blockAddr uint64, counter uint64) [CacheLineSize]byte {
+	var pad [CacheLineSize]byte
+	e.OTPInto(&pad, blockAddr, counter)
+	return pad
+}
+
+// OTPInto writes the pad for (blockAddr, counter) directly into dst —
+// the hot-path form that spares the 64-byte return and reassignment
+// copies when the pad's destination (a persist-buffer entry field)
+// already exists.
+func (e *Engine) OTPInto(dst *[CacheLineSize]byte, blockAddr uint64, counter uint64) {
+	if e.fastAES == nil {
+		*dst = e.OTPReference(blockAddr, counter)
+		return
+	}
+	binary.LittleEndian.PutUint64(e.otpSeed[0:], blockAddr)
+	for lane := 0; lane < CacheLineSize/BlockSize; lane++ {
+		binary.LittleEndian.PutUint64(e.otpSeed[8:], counter<<2|uint64(lane))
+		e.fastAES.Encrypt(dst[lane*BlockSize:], e.otpSeed[:])
+	}
+}
+
+// OTPReference computes the same pad on the from-scratch T-table AES —
+// the differential-test oracle for the fast path.
+func (e *Engine) OTPReference(blockAddr uint64, counter uint64) [CacheLineSize]byte {
 	var pad [CacheLineSize]byte
 	var seed [BlockSize]byte
 	binary.LittleEndian.PutUint64(seed[0:], blockAddr)
@@ -142,9 +191,9 @@ func XOR(dst, a, b *[CacheLineSize]byte) {
 // Encrypt returns the ciphertext of a 64-byte plaintext block under the
 // (blockAddr, counter) pad.
 func (e *Engine) Encrypt(plain *[CacheLineSize]byte, blockAddr, counter uint64) [CacheLineSize]byte {
-	pad := e.OTP(blockAddr, counter)
+	e.OTPInto(&e.otpPad, blockAddr, counter)
 	var ct [CacheLineSize]byte
-	XOR(&ct, plain, &pad)
+	XOR(&ct, plain, &e.otpPad)
 	return ct
 }
 
@@ -164,17 +213,25 @@ func (e *Engine) Decrypt(cipher *[CacheLineSize]byte, blockAddr, counter uint64)
 // fast path, so a MAC costs one SHA-512 compression from the cached key
 // midstate.
 func (e *Engine) MAC(cipher *[CacheLineSize]byte, blockAddr, counter uint64) [MACSize]byte {
+	var tag [MACSize]byte
+	e.MACInto(&tag, cipher, blockAddr, counter)
+	return tag
+}
+
+// MACInto writes the tag directly into dst — the hot-path form for
+// callers whose tag destination already exists (per-store early MAC
+// regeneration writes straight into the entry's M field).
+func (e *Engine) MACInto(dst *[MACSize]byte, cipher *[CacheLineSize]byte, blockAddr, counter uint64) {
 	if e.fastOK {
 		var tail [16 + CacheLineSize]byte
 		binary.LittleEndian.PutUint64(tail[0:], blockAddr)
 		binary.LittleEndian.PutUint64(tail[8:], counter)
 		copy(tail[16:], cipher[:])
-		var tag [MACSize]byte
-		if e.fast.oneBlock(e.macMid, tail[:], &tag) {
-			return tag
+		if e.fast.oneBlock(e.macMid, tail[:], dst) {
+			return
 		}
 	}
-	return e.MACReference(cipher, blockAddr, counter)
+	*dst = e.MACReference(cipher, blockAddr, counter)
 }
 
 // MACReference computes the same tag as MAC on the hand-rolled SHA512,

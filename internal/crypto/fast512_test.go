@@ -178,3 +178,25 @@ func FuzzHashNodeFastVsReference(f *testing.F) {
 		}
 	})
 }
+
+// FuzzOTPFastVsReference differentially fuzzes the stdlib-AES pad
+// generator against the hand-rolled T-table reference over arbitrary
+// (key, address, counter) triples: both compute the same AES-128, so
+// every pad must match bit for bit.
+func FuzzOTPFastVsReference(f *testing.F) {
+	f.Add([]byte("seed"), uint64(0x1000_0000), uint64(1))
+	f.Add([]byte{}, uint64(0), uint64(0))
+	f.Add([]byte("secpb-experiment-key"), uint64(1)<<47, ^uint64(0))
+	f.Fuzz(func(t *testing.T, key []byte, addr, ctr uint64) {
+		e, err := NewEngine(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.fastAES == nil {
+			t.Skip("stdlib AES unavailable")
+		}
+		if fast, ref := e.OTP(addr, ctr), e.OTPReference(addr, ctr); fast != ref {
+			t.Fatalf("fast OTP != reference for addr %#x ctr %d", addr, ctr)
+		}
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"secpb/internal/core"
 	"secpb/internal/mem"
 	"secpb/internal/nvm"
+	"secpb/internal/ptable"
 	"secpb/internal/stats"
 	"secpb/internal/trace"
 	"secpb/internal/workload"
@@ -39,13 +40,13 @@ type Engine struct {
 
 	// memory is the program's plaintext view of every written block —
 	// the reference the crash observer compares recovery against, and
-	// the source of initial contents for PB allocations. Blocks are held
-	// by pointer so the per-store read-modify-write touches the map once
-	// and copies no 64-byte values; the pointers come out of blockSlab,
-	// a chunked arena, so first touch of a block does not pay an
-	// individual 64B heap allocation.
-	memory    map[addr.Block]*[addr.BlockBytes]byte
-	blockSlab [][addr.BlockBytes]byte
+	// the source of initial contents for PB allocations. It is a paged
+	// direct-index table keyed by block index: the per-store
+	// read-modify-write is a radix lookup (no map hashing), block
+	// storage never moves so the returned pointers stay valid, and one
+	// 32KB page allocation covers the first touches of 512 neighbouring
+	// blocks (the table doubles as the block arena).
+	memory *ptable.Table[[addr.BlockBytes]byte]
 
 	// Cycle-accounting clocks.
 	now         uint64 // retirement time of the last instruction
@@ -94,7 +95,7 @@ func New(cfg config.Config, prof workload.Profile, key []byte) (*Engine, error) 
 		mc:      mc,
 		hier:    mem.NewHierarchy(cfg),
 		sb:      mem.NewStoreBuffer(cfg.StoreBufferCap),
-		memory:  make(map[addr.Block]*[addr.BlockBytes]byte, blockSlabLen),
+		memory:  ptable.New[[addr.BlockBytes]byte](),
 		gapHist: stats.NewHistogram(256, 512),
 	}
 	if cfg.Scheme != config.SchemeSP {
@@ -118,17 +119,18 @@ func (e *Engine) SecPB() *core.SecPB { return e.spb }
 // persistency). The snapshot is rebuilt per call; per-block reads on hot
 // paths should use MemoryBlock instead.
 func (e *Engine) Memory() map[addr.Block][addr.BlockBytes]byte {
-	out := make(map[addr.Block][addr.BlockBytes]byte, len(e.memory))
-	for b, p := range e.memory {
-		out[b] = *p
-	}
+	out := make(map[addr.Block][addr.BlockBytes]byte, e.memory.Len())
+	e.memory.Range(func(idx uint64, p *[addr.BlockBytes]byte) bool {
+		out[addr.FromIndex(idx)] = *p
+		return true
+	})
 	return out
 }
 
 // MemoryBlock returns the plaintext view of one block and whether the
 // program ever wrote it.
 func (e *Engine) MemoryBlock(b addr.Block) ([addr.BlockBytes]byte, bool) {
-	if p, ok := e.memory[b]; ok {
+	if p := e.memory.Lookup(b.Index()); p != nil {
 		return *p, true
 	}
 	return [addr.BlockBytes]byte{}, false
@@ -136,20 +138,6 @@ func (e *Engine) MemoryBlock(b addr.Block) ([addr.BlockBytes]byte, bool) {
 
 // Now returns the current cycle.
 func (e *Engine) Now() uint64 { return e.now }
-
-// blockSlabLen is the block-arena chunk size: one map-growth-friendly
-// allocation covers the first touches of 256 blocks (16KB per chunk).
-const blockSlabLen = 256
-
-// allocBlock hands out a zeroed block from the chunked arena.
-func (e *Engine) allocBlock() *[addr.BlockBytes]byte {
-	if len(e.blockSlab) == 0 {
-		e.blockSlab = make([][addr.BlockBytes]byte, blockSlabLen)
-	}
-	blk := &e.blockSlab[0]
-	e.blockSlab = e.blockSlab[1:]
-	return blk
-}
 
 // advance adds non-memory instruction time: gap instructions plus the
 // memory instruction itself, at the profile's baseline CPI.
@@ -167,6 +155,12 @@ func (e *Engine) Step(op trace.Op) error {
 	if err := op.Validate(); err != nil {
 		return err
 	}
+	return e.step(op)
+}
+
+// step executes one already-validated operation (the batch replay path
+// validates whole batches up front).
+func (e *Engine) step(op trace.Op) error {
 	e.advance(op.Gap)
 	switch op.Kind {
 	case trace.Load:
@@ -187,8 +181,14 @@ func (e *Engine) Step(op trace.Op) error {
 
 // Run drains the source. It returns the first error (trace corruption or
 // an integrity violation, which indicates a simulator bug or an injected
-// attack).
+// attack). Sources that also implement trace.BatchSource (the workload
+// generator) are replayed through the batched path; scalar sources
+// (codecs, recorded traces) take the per-op path. Both produce identical
+// results.
 func (e *Engine) Run(src trace.Source) error {
+	if bs, ok := src.(trace.BatchSource); ok {
+		return e.RunBatch(bs)
+	}
 	for {
 		op, ok := src.Next()
 		if !ok {
@@ -198,14 +198,36 @@ func (e *Engine) Run(src trace.Source) error {
 			return err
 		}
 	}
-	// Execution time includes draining the core's store buffer (the
-	// last store must be persistently accepted) but not the PB drain,
-	// which proceeds in the background after the region of interest.
+	return e.finishRun()
+}
+
+// RunBatch drains a batched source: ops arrive in columnar chunks, each
+// validated once up front and replayed with no per-op interface
+// dispatch.
+func (e *Engine) RunBatch(src trace.BatchSource) error {
+	b := trace.NewBatch(trace.DefaultBatchCap)
+	for src.NextBatch(b) {
+		if err := b.Validate(); err != nil {
+			return err
+		}
+		for i, n := 0, b.Len(); i < n; i++ {
+			if err := e.step(b.Op(i)); err != nil {
+				return err
+			}
+		}
+	}
+	return e.finishRun()
+}
+
+// finishRun closes the region of interest. Execution time includes
+// draining the core's store buffer (the last store must be persistently
+// accepted) but not the PB drain, which proceeds in the background;
+// staged BMT walks are committed so post-run inspection starts from a
+// settled tree.
+func (e *Engine) finishRun() error {
 	if d := e.sb.DrainedBy(); d > e.now {
 		e.now = d
 	}
-	// Commit any BMT walks still staged at the end of the region of
-	// interest, so post-run inspection starts from a settled tree.
 	e.mc.CompleteSweep()
 	return nil
 }
@@ -260,11 +282,7 @@ func (e *Engine) doStore(op trace.Op) error {
 	off := int(op.Addr - block.Addr())
 
 	// Functional: update the program view in place.
-	blk := e.memory[block]
-	if blk == nil {
-		blk = e.allocBlock()
-		e.memory[block] = blk
-	}
+	blk, _ := e.memory.GetOrCreate(block.Index())
 	for i := 0; i < int(op.Size); i++ {
 		blk[off+i] = byte(op.Data >> (8 * i))
 	}
@@ -280,7 +298,7 @@ func (e *Engine) doStore(op trace.Op) error {
 	e.reapDrains(e.now)
 
 	needAlloc := e.spb.Lookup(block) == nil
-	accStart := maxU64(e.now, e.pbPortFree)
+	accStart := max(e.now, e.pbPortFree)
 
 	if needAlloc && e.virtualOcc >= e.cfg.SecPBEntries {
 		// Backflow: the SecPB is full including in-flight drains; the
@@ -299,8 +317,8 @@ func (e *Engine) doStore(op trace.Op) error {
 		e.reapDrains(accStart)
 	}
 
-	cost, err := e.spb.AcceptStoreInit(0, block, off, int(op.Size), op.Data, blk, accStart)
-	if err != nil {
+	var cost core.AcceptCost
+	if err := e.spb.AcceptStoreInit(0, block, off, int(op.Size), op.Data, blk, accStart, &cost); err != nil {
 		return fmt.Errorf("engine: accept store: %w", err)
 	}
 	if cost.Allocated {
@@ -354,7 +372,7 @@ func (e *Engine) doStore(op trace.Op) error {
 	// The unblocking signal: the SecPB accepts the next store only
 	// after this store's early tuple elements are updated (for NoGap,
 	// the complete tuple — the persist order invariant).
-	unblock := maxU64(tChain, tBMT)
+	unblock := max(tChain, tBMT)
 	e.pbPortFree = unblock
 	e.lastUnblock = unblock
 
@@ -392,12 +410,12 @@ func (e *Engine) doStoreSP(block addr.Block, data *[addr.BlockBytes]byte) error 
 		levels = h.WalkLevels(block.CounterLine())
 	}
 	busy := e.timing.SPBaseII + uint64(levels)*e.timing.SPLevelII
-	start := maxU64(e.now, e.spUnitFree)
+	start := max(e.now, e.spUnitFree)
 	done := start + busy
 	e.spUnitFree = done
 	e.now = e.sb.Push(e.now, done)
 	// Functional write-through persist of the whole block.
-	if _, err := e.mc.PersistBlock(block, *data, nvm.PreparedMeta{}); err != nil {
+	if _, err := e.mc.PersistBlock(block, data, nil); err != nil {
 		return fmt.Errorf("engine: SP persist: %w", err)
 	}
 	return nil
@@ -419,7 +437,7 @@ func (e *Engine) scheduleDrain(at uint64) error {
 		uint64(cost.AESOps)*e.timing.DrainAESII +
 		uint64(cost.PMDataWrites+cost.PMMetaWrites)*e.timing.DrainPMWrite +
 		uint64(cost.PMReads)*e.timing.DrainPMRead
-	start := maxU64(e.drainFree, at)
+	start := max(e.drainFree, at)
 	e.drainFree = start + busy
 	e.inflight = append(e.inflight, e.drainFree)
 	// Record the PoP -> SPoP window (draining gap + sec-sync gap): the
@@ -440,11 +458,4 @@ func (e *Engine) reapDrains(t uint64) {
 		e.inflight = e.inflight[i:]
 		e.virtualOcc -= i
 	}
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -12,6 +12,7 @@ package harness
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"sync"
 
@@ -46,6 +47,36 @@ type Options struct {
 	// Ctx, if non-nil, cancels in-flight experiments (default
 	// context.Background()).
 	Ctx context.Context
+	// Memo, if non-nil, caches simulation results by cell content (the
+	// full configuration, the benchmark profile, and the op count).
+	// Experiment grids overlap heavily — Table IV and Figure 6 share an
+	// identical grid, and the size sweeps re-run the default size — so a
+	// shared memo simulates each unique cell exactly once per process.
+	// Because a simulation is a deterministic pure function of the cell
+	// key, memoized artifacts are byte-identical to recomputed ones;
+	// concurrent duplicates collapse to a single simulation at any
+	// Parallelism setting.
+	Memo *CellMemo
+}
+
+// CellMemo is the result cache shared across experiments; see
+// Options.Memo.
+type CellMemo = runner.Memo[CellKey, engine.Result]
+
+// NewCellMemo returns an empty experiment-cell cache.
+func NewCellMemo() *CellMemo { return runner.NewMemo[CellKey, engine.Result]() }
+
+// CellKey identifies one simulation cell by content.
+type CellKey [sha256.Size]byte
+
+// cellKey canonically hashes everything a simulation's result depends
+// on: the complete configuration and profile (flat structs of scalars,
+// rendered field-by-field via %#v) and the op count. Two cells with
+// equal keys run identical simulations.
+func cellKey(cfg config.Config, prof workload.Profile, ops uint64) CellKey {
+	h := sha256.New()
+	fmt.Fprintf(h, "%#v|%#v|%d", cfg, prof, ops)
+	return CellKey(h.Sum(nil))
 }
 
 // DefaultOptions returns the standard experiment setup.
@@ -78,9 +109,20 @@ func (o *Options) profiles() ([]workload.Profile, error) {
 	return ps, nil
 }
 
-// run simulates one (benchmark, config) pair.
+// run simulates one (benchmark, config) pair, consulting the memo when
+// one is configured. Progress is emitted for cache hits too, so the
+// progress stream (like the artifacts) is identical with and without
+// memoization.
 func (o *Options) run(cfg config.Config, prof workload.Profile) (engine.Result, error) {
-	res, err := engine.RunBenchmark(cfg, prof, o.Ops)
+	var res engine.Result
+	var err error
+	if o.Memo != nil {
+		res, _, err = o.Memo.Do(cellKey(cfg, prof, o.Ops), func() (engine.Result, error) {
+			return engine.RunBenchmark(cfg, prof, o.Ops)
+		})
+	} else {
+		res, err = engine.RunBenchmark(cfg, prof, o.Ops)
+	}
 	if err != nil {
 		return res, fmt.Errorf("harness: %s/%v: %w", prof.Name, cfg.Scheme, err)
 	}

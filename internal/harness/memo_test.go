@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"secpb/internal/config"
+	"secpb/internal/workload"
+)
+
+// TestCellMemoDeterminism is the memoization guarantee: the same
+// experiments run with the cell cache on and off — serially and in
+// parallel — render byte-identical artifacts, because a simulation is a
+// pure function of its cell key and replaying a cached result is
+// indistinguishable from recomputing it.
+func TestCellMemoDeterminism(t *testing.T) {
+	base := DefaultOptions()
+	base.Ops = 4000
+	base.Benchmarks = []string{"gamess", "mcf"}
+
+	render := func(o Options) string {
+		var sb strings.Builder
+		_, t4, err := Table4(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(t4.String())
+		// Figure 6's grid is identical to Table IV's — with the memo on
+		// it must be a pure cache replay, and render identically.
+		_, f6, err := Figure6(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(f6.String())
+		_, f7, err := Figure7(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(f7.String())
+		return sb.String()
+	}
+
+	plain := base
+	want := render(plain)
+
+	memoSerial := base
+	memoSerial.Memo = NewCellMemo()
+	memoSerial.Parallelism = 1
+	if got := render(memoSerial); got != want {
+		t.Errorf("memoized serial artifacts differ from unmemoized:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	hits, misses := memoSerial.Memo.Stats()
+	if hits == 0 {
+		t.Error("Table IV + Figure 6 share an identical grid, yet the memo saw no hits")
+	}
+	if misses == 0 {
+		t.Error("memo recorded no misses")
+	}
+
+	memoWide := base
+	memoWide.Memo = NewCellMemo()
+	memoWide.Parallelism = 8
+	if got := render(memoWide); got != want {
+		t.Errorf("memoized parallel artifacts differ from unmemoized")
+	}
+	// Concurrent duplicates must collapse: both runs simulate the same
+	// unique cell set regardless of worker count.
+	_, wideMisses := memoWide.Memo.Stats()
+	if wideMisses != misses {
+		t.Errorf("unique cells simulated: parallel %d != serial %d", wideMisses, misses)
+	}
+}
+
+// TestCellKeySensitivity checks the key covers everything a result
+// depends on: any change to config, profile, or op count must change
+// the key, and equal cells must collide.
+func TestCellKeySensitivity(t *testing.T) {
+	cfg := config.Default()
+	prof, err := workload.ByName("gamess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := cellKey(cfg, prof, 1000)
+	if k != cellKey(cfg, prof, 1000) {
+		t.Error("identical cells produced different keys")
+	}
+	if k == cellKey(cfg, prof, 1001) {
+		t.Error("op count not covered by the cell key")
+	}
+	if k == cellKey(cfg.WithScheme(config.SchemeCM), prof, 1000) {
+		t.Error("scheme not covered by the cell key")
+	}
+	if k == cellKey(cfg.WithSecPBEntries(cfg.SecPBEntries*2), prof, 1000) {
+		t.Error("SecPB size not covered by the cell key")
+	}
+	other, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k == cellKey(cfg, other, 1000) {
+		t.Error("benchmark profile not covered by the cell key")
+	}
+}

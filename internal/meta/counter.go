@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"secpb/internal/addr"
+	"secpb/internal/ptable"
 )
 
 // MinorBits is the width of a minor (per-block) counter. The paper's
@@ -60,32 +61,30 @@ func (cl *CounterLine) Bytes() []byte {
 }
 
 // CounterStore holds the split counters for the whole PM, created lazily
-// (absent pages have all-zero counters).
+// (absent pages have all-zero counters). Lines live in a paged
+// direct-index table keyed by page number, so the per-store counter
+// touch is a radix lookup rather than a map probe; line pointers stay
+// valid for the store's lifetime.
 type CounterStore struct {
-	lines map[uint64]*CounterLine
+	lines *ptable.Table[CounterLine]
 	// overflows counts minor-counter overflows (page re-encryptions).
 	overflows uint64
 }
 
 // NewCounterStore returns an empty store.
 func NewCounterStore() *CounterStore {
-	return &CounterStore{lines: make(map[uint64]*CounterLine)}
+	return &CounterStore{lines: ptable.New[CounterLine]()}
 }
 
 // Line returns the counter line for a page, creating it if absent.
 func (cs *CounterStore) Line(page uint64) *CounterLine {
-	cl, ok := cs.lines[page]
-	if !ok {
-		cl = &CounterLine{}
-		cs.lines[page] = cl
-	}
+	cl, _ := cs.lines.GetOrCreate(page)
 	return cl
 }
 
 // Peek returns the counter line if present, without creating it.
 func (cs *CounterStore) Peek(page uint64) (*CounterLine, bool) {
-	cl, ok := cs.lines[page]
-	return cl, ok
+	return cs.lines.Get(page)
 }
 
 // Value returns the block's current encryption counter.
@@ -118,8 +117,8 @@ func (cs *CounterStore) Increment(b addr.Block) (newValue uint64, overflow bool)
 // counter would overflow. Callers that must re-encrypt the page before
 // the counters reset (the memory controller) check this first.
 func (cs *CounterStore) WouldOverflow(b addr.Block) bool {
-	cl, ok := cs.lines[b.Page()]
-	return ok && cl.Minors[b.PageOffset()] == minorMax
+	cl := cs.lines.Lookup(b.Page())
+	return cl != nil && cl.Minors[b.PageOffset()] == minorMax
 }
 
 // ForceMajorRollover advances the page's major counter and zeroes all
@@ -138,26 +137,26 @@ func (cs *CounterStore) ForceMajorRollover(page uint64) {
 func (cs *CounterStore) Overflows() uint64 { return cs.overflows }
 
 // Pages returns the number of counter lines materialized.
-func (cs *CounterStore) Pages() int { return len(cs.lines) }
+func (cs *CounterStore) Pages() int { return cs.lines.Len() }
 
 // Snapshot deep-copies the store (used to model the persisted PM image
 // at a crash point).
 func (cs *CounterStore) Snapshot() *CounterStore {
-	cp := NewCounterStore()
-	cp.overflows = cs.overflows
-	for page, cl := range cs.lines {
-		dup := *cl
-		cp.lines[page] = &dup
-	}
-	return cp
+	return &CounterStore{lines: cs.lines.Clone(), overflows: cs.overflows}
+}
+
+// RangeLines calls fn for every materialized counter line in ascending
+// page order (deterministic traversal for audits and recovery replay).
+func (cs *CounterStore) RangeLines(fn func(page uint64, cl *CounterLine) bool) {
+	cs.lines.Range(fn)
 }
 
 // Tamper overwrites the stored minor counter of a block — an attack
 // primitive used by the integrity tests. It reports an error if the
 // page has no materialized counters.
 func (cs *CounterStore) Tamper(b addr.Block, minor uint8) error {
-	cl, ok := cs.lines[b.Page()]
-	if !ok {
+	cl := cs.lines.Lookup(b.Page())
+	if cl == nil {
 		return fmt.Errorf("meta: no counters for page %d", b.Page())
 	}
 	cl.Minors[b.PageOffset()] = minor

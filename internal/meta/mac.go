@@ -5,66 +5,66 @@ import (
 
 	"secpb/internal/addr"
 	"secpb/internal/crypto"
+	"secpb/internal/ptable"
 )
 
 // MACStore holds the per-block authentication tags persisted in PM.
 // Tags are stored at full width (the SecPB entry's 512-bit M field);
-// eight truncated tags share a 64B MAC line for cache/traffic accounting.
+// eight truncated tags share a 64B MAC line for cache/traffic
+// accounting. Block indices are dense, so tags live in a paged
+// direct-index table (presence in the table means the block was MAC'd).
 type MACStore struct {
-	tags map[addr.Block][crypto.MACSize]byte
+	tags *ptable.Table[[crypto.MACSize]byte]
 }
 
 // NewMACStore returns an empty store.
 func NewMACStore() *MACStore {
-	return &MACStore{tags: make(map[addr.Block][crypto.MACSize]byte)}
+	return &MACStore{tags: ptable.New[[crypto.MACSize]byte]()}
 }
 
 // Put stores the tag for a block.
 func (ms *MACStore) Put(b addr.Block, tag [crypto.MACSize]byte) {
-	ms.tags[b] = tag
+	ms.tags.Put(b.Index(), tag)
 }
 
 // Get returns the stored tag; ok is false if the block was never MAC'd.
 func (ms *MACStore) Get(b addr.Block) (tag [crypto.MACSize]byte, ok bool) {
-	tag, ok = ms.tags[b]
-	return tag, ok
+	if t := ms.tags.Lookup(b.Index()); t != nil {
+		return *t, true
+	}
+	return tag, false
 }
 
 // Verify recomputes nothing — it compares the stored tag with an
 // expected tag computed by the caller's crypto engine and returns an
 // error naming the block on mismatch.
 func (ms *MACStore) Verify(b addr.Block, want [crypto.MACSize]byte) error {
-	got, ok := ms.tags[b]
-	if !ok {
+	t := ms.tags.Lookup(b.Index())
+	if t == nil {
 		return fmt.Errorf("meta: block %#x has no MAC", b.Addr())
 	}
-	if got != want {
+	if *t != want {
 		return fmt.Errorf("meta: MAC mismatch for block %#x", b.Addr())
 	}
 	return nil
 }
 
 // Len returns the number of blocks with tags.
-func (ms *MACStore) Len() int { return len(ms.tags) }
+func (ms *MACStore) Len() int { return ms.tags.Len() }
 
 // Snapshot deep-copies the store.
 func (ms *MACStore) Snapshot() *MACStore {
-	cp := NewMACStore()
-	for b, t := range ms.tags {
-		cp.tags[b] = t
-	}
-	return cp
+	return &MACStore{tags: ms.tags.Clone()}
 }
 
 // Tamper flips one bit in a stored tag (attack primitive). It reports an
 // error if the block has no tag.
 func (ms *MACStore) Tamper(b addr.Block, bit int) error {
-	tag, ok := ms.tags[b]
-	if !ok {
+	t := ms.tags.Lookup(b.Index())
+	if t == nil {
 		return fmt.Errorf("meta: no MAC for block %#x", b.Addr())
 	}
-	tag[(bit/8)%crypto.MACSize] ^= 1 << (bit % 8)
-	ms.tags[b] = tag
+	t[(bit/8)%crypto.MACSize] ^= 1 << (bit % 8)
 	return nil
 }
 

@@ -90,11 +90,12 @@ type Controller struct {
 
 	reencrypts uint64
 
-	// Reusable scratch for the drain-path BMT walk; the controller models
-	// one hardware unit and is not safe for concurrent use, so one buffer
-	// of each suffices.
+	// Reusable scratch for the drain-path BMT walk and OTP generation;
+	// the controller models one hardware unit and is not safe for
+	// concurrent use, so one buffer of each suffices.
 	lineBuf [meta.LineBytesLen]byte
 	pathIDs []uint64
+	otpBuf  [addr.BlockBytes]byte
 }
 
 // NewController builds the controller for the given configuration. The
@@ -262,12 +263,30 @@ func (c *Controller) NextCounter(b addr.Block) (value uint64, cost Cost) {
 
 // MakeOTP generates the pad for a block under the given counter.
 func (c *Controller) MakeOTP(b addr.Block, counter uint64) ([addr.BlockBytes]byte, Cost) {
-	return c.eng.OTP(b.Addr(), counter), Cost{AESOps: 1}
+	var pad [addr.BlockBytes]byte
+	c.eng.OTPInto(&pad, b.Addr(), counter)
+	return pad, Cost{AESOps: 1}
+}
+
+// MakeOTPInto is MakeOTP writing the pad directly into dst (hot-path
+// form for per-entry early OTP generation into a SecPB entry field).
+func (c *Controller) MakeOTPInto(dst *[addr.BlockBytes]byte, b addr.Block, counter uint64) Cost {
+	c.eng.OTPInto(dst, b.Addr(), counter)
+	return Cost{AESOps: 1}
 }
 
 // MakeMAC computes the tag for ciphertext under the given counter.
 func (c *Controller) MakeMAC(b addr.Block, cipher *[addr.BlockBytes]byte, counter uint64) ([crypto.MACSize]byte, Cost) {
-	return c.eng.MAC(cipher, b.Addr(), counter), Cost{Hashes: 1}
+	var tag [crypto.MACSize]byte
+	c.eng.MACInto(&tag, cipher, b.Addr(), counter)
+	return tag, Cost{Hashes: 1}
+}
+
+// MakeMACInto is MakeMAC writing the tag directly into dst (hot-path
+// form for per-store early MAC regeneration into a SecPB entry field).
+func (c *Controller) MakeMACInto(dst *[crypto.MACSize]byte, b addr.Block, cipher *[addr.BlockBytes]byte, counter uint64) Cost {
+	c.eng.MACInto(dst, cipher, b.Addr(), counter)
+	return Cost{Hashes: 1}
 }
 
 // ChargeBMTWalk accounts an eager BMT root update at allocation time
@@ -278,9 +297,9 @@ func (c *Controller) ChargeBMTWalk(b addr.Block) Cost {
 }
 
 // pmWrite stages a block write through the ADR WPQ into the device.
-func (c *Controller) pmWrite(b addr.Block, data [addr.BlockBytes]byte) {
+func (c *Controller) pmWrite(b addr.Block, data *[addr.BlockBytes]byte) {
 	c.wpq.Accept()
-	c.pm.Write(b, data)
+	c.pm.Write(b, *data)
 	// The device drains the queue continuously; retire lazily at half
 	// occupancy to produce a realistic high-water profile.
 	if c.wpq.Occupancy() > c.wpq.Capacity()/2 {
@@ -289,18 +308,30 @@ func (c *Controller) pmWrite(b addr.Block, data [addr.BlockBytes]byte) {
 }
 
 // PersistInsecure writes plaintext directly (BBB baseline drain).
-func (c *Controller) PersistInsecure(b addr.Block, plain [addr.BlockBytes]byte) Cost {
+func (c *Controller) PersistInsecure(b addr.Block, plain *[addr.BlockBytes]byte) Cost {
 	c.pmWrite(b, plain)
 	return Cost{PMDataWrites: 1}
 }
+
+// zeroPrepared is the shared empty PreparedMeta that PersistBlock
+// substitutes when prepared metadata is absent (nil) or went stale.
+// It is only ever read through.
+var zeroPrepared PreparedMeta
 
 // PersistBlock completes and persists the memory tuple for a draining
 // entry: (ciphertext, counter, MAC, BMT root) all become durable and
 // mutually consistent. Prepared elements are consumed instead of being
 // recomputed — the cost difference between eager and lazy schemes.
-func (c *Controller) PersistBlock(b addr.Block, plain [addr.BlockBytes]byte, prep PreparedMeta) (Cost, error) {
+// Both plain and prep are passed by pointer: drains run once per store
+// at steady state, and the ~280 bytes of by-value argument copies were
+// measurable in drain-heavy profiles. A nil prep means "nothing
+// prepared"; PersistBlock never writes through prep.
+func (c *Controller) PersistBlock(b addr.Block, plain *[addr.BlockBytes]byte, prep *PreparedMeta) (Cost, error) {
 	if !c.secure {
 		return c.PersistInsecure(b, plain), nil
+	}
+	if prep == nil {
+		prep = &zeroPrepared
 	}
 	var cost Cost
 
@@ -319,7 +350,7 @@ func (c *Controller) PersistBlock(b addr.Block, plain [addr.BlockBytes]byte, pre
 				return cost, err
 			}
 			// The overflow reset invalidates any prepared metadata.
-			prep = PreparedMeta{}
+			prep = &zeroPrepared
 		}
 		var overflow bool
 		newCtr, overflow = c.ctrs.Increment(b)
@@ -330,7 +361,7 @@ func (c *Controller) PersistBlock(b addr.Block, plain [addr.BlockBytes]byte, pre
 	if prep.CounterDone && prep.Counter != newCtr {
 		// Prepared metadata went stale (page re-encrypted since
 		// allocation and the SecPB missed the invalidation hook).
-		prep = PreparedMeta{}
+		prep = &zeroPrepared
 	}
 
 	// OTP and ciphertext.
@@ -339,13 +370,12 @@ func (c *Controller) PersistBlock(b addr.Block, plain [addr.BlockBytes]byte, pre
 	case prep.CipherDone:
 		ct = prep.Cipher
 	case prep.OTPDone:
-		crypto.XOR(&ct, &plain, &prep.OTP)
+		crypto.XOR(&ct, plain, &prep.OTP)
 	default:
-		otp, otpCost := c.MakeOTP(b, newCtr)
-		cost.Add(otpCost)
-		crypto.XOR(&ct, &plain, &otp)
+		cost.Add(c.MakeOTPInto(&c.otpBuf, b, newCtr))
+		crypto.XOR(&ct, plain, &c.otpBuf)
 	}
-	c.pmWrite(b, ct)
+	c.pmWrite(b, &ct)
 	cost.PMDataWrites++
 
 	// MAC.
@@ -408,7 +438,7 @@ func (c *Controller) reencryptPage(b addr.Block) (Cost, error) {
 	for _, s := range plains {
 		newCtr := c.ctrs.Value(s.blk)
 		ct := c.eng.Encrypt(&s.plain, s.blk.Addr(), newCtr)
-		c.pmWrite(s.blk, ct)
+		c.pmWrite(s.blk, &ct)
 		c.macs.Put(s.blk, c.eng.MAC(&ct, s.blk.Addr(), newCtr))
 		cost.AESOps++
 		cost.Hashes++

@@ -27,6 +27,12 @@ func plainBlock(fill byte) [addr.BlockBytes]byte {
 	return d
 }
 
+// persist is PersistBlock without prepared metadata, taking the block
+// by value for test-site convenience.
+func persist(c *Controller, b addr.Block, data [addr.BlockBytes]byte) (Cost, error) {
+	return c.PersistBlock(b, &data, nil)
+}
+
 func TestPMReadWrite(t *testing.T) {
 	pm := NewPM(1 << 20)
 	b := addr.BlockOf(0x1000)
@@ -77,7 +83,7 @@ func TestInsecureControllerRoundTrip(t *testing.T) {
 	}
 	b := addr.BlockOf(0x2000)
 	data := plainBlock(0xAA)
-	cost, err := c.PersistBlock(b, data, PreparedMeta{})
+	cost, err := persist(c, b, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +104,7 @@ func TestSecurePersistEncryptsAndVerifies(t *testing.T) {
 	c := secureController(t)
 	b := addr.BlockOf(0x3000)
 	data := plainBlock(0x5C)
-	cost, err := c.PersistBlock(b, data, PreparedMeta{})
+	cost, err := persist(c, b, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +154,7 @@ func TestPreparedMetaSkipsWork(t *testing.T) {
 		MACDone: true, MAC: mac,
 		BMTDone: true,
 	}
-	cost, err := c.PersistBlock(b, data, prep)
+	cost, err := c.PersistBlock(b, &data, &prep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +180,7 @@ func TestStalePreparedCounterIsDiscarded(t *testing.T) {
 	data := plainBlock(0x22)
 	// Prepared under a counter that will not match (simulate staleness).
 	prep := PreparedMeta{CounterDone: true, Counter: 999, OTPDone: true}
-	if _, err := c.PersistBlock(b, data, prep); err != nil {
+	if _, err := c.PersistBlock(b, &data, &prep); err != nil {
 		t.Fatal(err)
 	}
 	got, _, err := c.FetchBlock(b)
@@ -188,7 +194,7 @@ func TestRepeatedPersistBumpsCounter(t *testing.T) {
 	b := addr.BlockOf(0x6000)
 	var cts [3][addr.BlockBytes]byte
 	for i := range cts {
-		if _, err := c.PersistBlock(b, plainBlock(0x33), PreparedMeta{}); err != nil {
+		if _, err := persist(c, b, plainBlock(0x33)); err != nil {
 			t.Fatal(err)
 		}
 		cts[i], _ = c.PM().Peek(b)
@@ -204,7 +210,7 @@ func TestRepeatedPersistBumpsCounter(t *testing.T) {
 func TestFetchDetectsDataTamper(t *testing.T) {
 	c := secureController(t)
 	b := addr.BlockOf(0x7000)
-	if _, err := c.PersistBlock(b, plainBlock(0x44), PreparedMeta{}); err != nil {
+	if _, err := persist(c, b, plainBlock(0x44)); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.PM().Tamper(b, 17); err != nil {
@@ -220,10 +226,10 @@ func TestFetchDetectsDataTamper(t *testing.T) {
 func TestFetchDetectsCounterRollback(t *testing.T) {
 	c := secureController(t)
 	b := addr.BlockOf(0x8000)
-	c.PersistBlock(b, plainBlock(1), PreparedMeta{})
+	persist(c, b, plainBlock(1))
 	oldCT, _ := c.PM().Peek(b)
 	oldTag, _ := c.MACs().Get(b)
-	c.PersistBlock(b, plainBlock(2), PreparedMeta{})
+	persist(c, b, plainBlock(2))
 	// Replay attack: restore old ciphertext+MAC and roll the counter
 	// back so (data, counter, MAC) are mutually consistent.
 	c.PM().Write(b, oldCT)
@@ -255,7 +261,7 @@ func TestCounterOverflowReencryptsPage(t *testing.T) {
 	b := addr.BlockOf(0x9000)
 	sib := addr.BlockOf(0x9040)
 	sibData := plainBlock(0x77)
-	if _, err := c.PersistBlock(sib, sibData, PreparedMeta{}); err != nil {
+	if _, err := persist(c, sib, sibData); err != nil {
 		t.Fatal(err)
 	}
 	// Drive b's minor counter to overflow (255 persists reach max,
@@ -267,7 +273,7 @@ func TestCounterOverflowReencryptsPage(t *testing.T) {
 		}
 	})
 	for i := 0; i < 256; i++ {
-		if _, err := c.PersistBlock(b, plainBlock(byte(i)), PreparedMeta{}); err != nil {
+		if _, err := persist(c, b, plainBlock(byte(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -296,8 +302,8 @@ func TestCtrCacheHitsOnLocality(t *testing.T) {
 	c := secureController(t)
 	b1 := addr.BlockOf(0xA000)
 	b2 := addr.BlockOf(0xA040) // same page -> same counter line
-	c.PersistBlock(b1, plainBlock(1), PreparedMeta{})
-	cost, _ := c.PersistBlock(b2, plainBlock(2), PreparedMeta{})
+	persist(c, b1, plainBlock(1))
+	cost, _ := persist(c, b2, plainBlock(2))
 	if !cost.CtrCacheHit {
 		t.Error("second block of same page missed counter cache")
 	}
@@ -323,7 +329,7 @@ func BenchmarkPersistBlockLazy(b *testing.B) {
 	data := plainBlock(0x5C)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.PersistBlock(addr.FromIndex(uint64(i%10000)), data, PreparedMeta{}); err != nil {
+		if _, err := persist(c, addr.FromIndex(uint64(i%10000)), data); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -334,7 +340,7 @@ func BenchmarkFetchBlock(b *testing.B) {
 	c, _ := NewController(cfg, []byte("k"))
 	data := plainBlock(0x5C)
 	for i := 0; i < 1000; i++ {
-		c.PersistBlock(addr.FromIndex(uint64(i)), data, PreparedMeta{})
+		persist(c, addr.FromIndex(uint64(i)), data)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -357,7 +363,7 @@ func TestUnifiedMDC(t *testing.T) {
 	}
 	// The full data path still works and verifies.
 	b := addr.BlockOf(0xB000)
-	if _, err := c.PersistBlock(b, plainBlock(0x3C), PreparedMeta{}); err != nil {
+	if _, err := persist(c, b, plainBlock(0x3C)); err != nil {
 		t.Fatal(err)
 	}
 	got, _, err := c.FetchBlock(b)
@@ -378,11 +384,11 @@ func TestUnifiedMDCKeysDoNotAlias(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := addr.BlockOf(0)
-	if _, err := c.PersistBlock(b, plainBlock(1), PreparedMeta{}); err != nil {
+	if _, err := persist(c, b, plainBlock(1)); err != nil {
 		t.Fatal(err)
 	}
 	// Second persist: counter and MAC lines must now hit.
-	cost, err := c.PersistBlock(b, plainBlock(2), PreparedMeta{})
+	cost, err := persist(c, b, plainBlock(2))
 	if err != nil {
 		t.Fatal(err)
 	}

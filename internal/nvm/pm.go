@@ -13,14 +13,18 @@ import (
 	"fmt"
 
 	"secpb/internal/addr"
+	"secpb/internal/ptable"
 )
 
 // PM is the byte-addressable persistent memory device, tracked at block
 // granularity. Contents are whatever the controller writes: ciphertext
-// under secure schemes, plaintext under the insecure baseline.
+// under secure schemes, plaintext under the insecure baseline. The image
+// lives in a paged direct-index table keyed by block index, so the
+// drain-path write and fetch-path read are radix lookups, and traversal
+// (Blocks, Snapshot) is deterministic in address order.
 type PM struct {
 	sizeBytes uint64
-	data      map[addr.Block][addr.BlockBytes]byte
+	data      *ptable.Table[[addr.BlockBytes]byte]
 	reads     uint64
 	writes    uint64
 }
@@ -29,40 +33,48 @@ type PM struct {
 func NewPM(sizeBytes uint64) *PM {
 	return &PM{
 		sizeBytes: sizeBytes,
-		data:      make(map[addr.Block][addr.BlockBytes]byte),
+		data:      ptable.New[[addr.BlockBytes]byte](),
 	}
 }
 
 // Write stores a block.
 func (p *PM) Write(b addr.Block, data [addr.BlockBytes]byte) {
-	p.data[b] = data
+	blk, _ := p.data.GetOrCreate(b.Index())
+	*blk = data
 	p.writes++
 }
 
 // Read loads a block; absent blocks read as zero (fresh media).
 func (p *PM) Read(b addr.Block) [addr.BlockBytes]byte {
 	p.reads++
-	return p.data[b]
+	if blk := p.data.Lookup(b.Index()); blk != nil {
+		return *blk
+	}
+	return [addr.BlockBytes]byte{}
 }
 
 // Peek returns the block without touching access counters, and whether
 // it was ever written.
 func (p *PM) Peek(b addr.Block) ([addr.BlockBytes]byte, bool) {
-	d, ok := p.data[b]
-	return d, ok
+	if blk := p.data.Lookup(b.Index()); blk != nil {
+		return *blk, true
+	}
+	return [addr.BlockBytes]byte{}, false
 }
 
-// Blocks returns the addresses of all written blocks (unordered).
+// Blocks returns the addresses of all written blocks in ascending
+// address order.
 func (p *PM) Blocks() []addr.Block {
-	out := make([]addr.Block, 0, len(p.data))
-	for b := range p.data {
-		out = append(out, b)
-	}
+	out := make([]addr.Block, 0, p.data.Len())
+	p.data.Range(func(idx uint64, _ *[addr.BlockBytes]byte) bool {
+		out = append(out, addr.FromIndex(idx))
+		return true
+	})
 	return out
 }
 
 // Len returns the number of written blocks.
-func (p *PM) Len() int { return len(p.data) }
+func (p *PM) Len() int { return p.data.Len() }
 
 // Stats returns cumulative (reads, writes).
 func (p *PM) Stats() (reads, writes uint64) { return p.reads, p.writes }
@@ -71,19 +83,16 @@ func (p *PM) Stats() (reads, writes uint64) { return p.reads, p.writes }
 func (p *PM) Snapshot() *PM {
 	cp := NewPM(p.sizeBytes)
 	cp.reads, cp.writes = p.reads, p.writes
-	for b, d := range p.data {
-		cp.data[b] = d
-	}
+	cp.data = p.data.Clone()
 	return cp
 }
 
 // Tamper flips one bit of a stored block (attack primitive).
 func (p *PM) Tamper(b addr.Block, bit int) error {
-	d, ok := p.data[b]
-	if !ok {
+	blk := p.data.Lookup(b.Index())
+	if blk == nil {
 		return fmt.Errorf("nvm: block %#x not present", b.Addr())
 	}
-	d[(bit/8)%addr.BlockBytes] ^= 1 << (bit % 8)
-	p.data[b] = d
+	blk[(bit/8)%addr.BlockBytes] ^= 1 << (bit % 8)
 	return nil
 }

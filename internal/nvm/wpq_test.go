@@ -52,7 +52,7 @@ func TestWPQZeroEntries(t *testing.T) {
 func TestControllerRoutesWritesThroughWPQ(t *testing.T) {
 	c := secureController(t)
 	for i := uint64(0); i < 10; i++ {
-		if _, err := c.PersistBlock(addr.FromIndex(i), plainBlock(byte(i)), PreparedMeta{}); err != nil {
+		if _, err := persist(c, addr.FromIndex(i), plainBlock(byte(i))); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -41,8 +41,8 @@ type Entry[E any] struct {
 // Buffer is a coalescing persist buffer with watermark-based draining.
 type Buffer[E any] struct {
 	capacity int
-	hi, lo   int // watermark entry counts
-	entries  map[addr.Block]*Entry[E]
+	hi, lo   int          // watermark entry counts
+	idx      index[E]     // block → resident entry
 	fifo     []addr.Block // allocation order (oldest first)
 	seq      uint64
 
@@ -50,6 +50,102 @@ type Buffer[E any] struct {
 	writes    uint64
 	drains    uint64
 	writeHist []uint64 // writes-per-entry samples at drain (NWPE)
+}
+
+// index is the buffer's block→entry lookup structure: a fixed-size
+// open-addressed table (linear probing, backward-shift deletion) sized
+// at a quarter load for the buffer's bounded capacity. Every store
+// probes it once (twice on allocation) and every drain deletes from it,
+// which made the previous map's hashing and bucket chasing the last
+// per-op map cost on the engine's store path. At ≤25% load a probe is
+// almost always a single cache line.
+type index[E any] struct {
+	slots []idxSlot[E]
+	mask  uint64
+	shift uint // 64 - log2(len(slots)), for multiplicative hashing
+	n     int
+}
+
+type idxSlot[E any] struct {
+	key addr.Block
+	e   *Entry[E] // nil marks an empty slot
+}
+
+func newIndex[E any](capacity int) index[E] {
+	size, shift := 8, uint(61)
+	for size < 4*capacity {
+		size <<= 1
+		shift--
+	}
+	return index[E]{
+		slots: make([]idxSlot[E], size),
+		mask:  uint64(size - 1),
+		shift: shift,
+	}
+}
+
+// home returns the block's preferred slot (Fibonacci hashing: the high
+// multiplier bits are well mixed even for the sequential block numbers
+// streaming workloads produce).
+func (ix *index[E]) home(b addr.Block) uint64 {
+	return (uint64(b) * 0x9E3779B97F4A7C15) >> ix.shift
+}
+
+func (ix *index[E]) get(b addr.Block) *Entry[E] {
+	for i := ix.home(b); ; i = (i + 1) & ix.mask {
+		s := &ix.slots[i]
+		if s.e == nil {
+			return nil
+		}
+		if s.key == b {
+			return s.e
+		}
+	}
+}
+
+// put inserts an entry for a block the caller has verified absent. The
+// table is never more than quarter full (capacity entries in ≥4×
+// capacity slots), so the probe always terminates at an empty slot.
+func (ix *index[E]) put(b addr.Block, e *Entry[E]) {
+	i := ix.home(b)
+	for ix.slots[i].e != nil {
+		i = (i + 1) & ix.mask
+	}
+	ix.slots[i] = idxSlot[E]{key: b, e: e}
+	ix.n++
+}
+
+// del removes and returns the entry for b (nil if absent), compacting
+// the probe sequence by backward-shift deletion so no tombstones
+// accumulate under the buffer's allocate/drain churn.
+func (ix *index[E]) del(b addr.Block) *Entry[E] {
+	i := ix.home(b)
+	for {
+		s := &ix.slots[i]
+		if s.e == nil {
+			return nil
+		}
+		if s.key == b {
+			break
+		}
+		i = (i + 1) & ix.mask
+	}
+	e := ix.slots[i].e
+	ix.n--
+	for j := (i + 1) & ix.mask; ; j = (j + 1) & ix.mask {
+		s := ix.slots[j]
+		if s.e == nil {
+			break
+		}
+		// s may fill the hole at i iff i lies on s's probe path, i.e.
+		// the cyclic distance home→i does not exceed home→j.
+		if (j-ix.home(s.key))&ix.mask >= (j-i)&ix.mask {
+			ix.slots[i] = s
+			i = j
+		}
+	}
+	ix.slots[i] = idxSlot[E]{}
+	return e
 }
 
 // New returns a buffer with the given capacity and watermark fractions
@@ -70,30 +166,30 @@ func New[E any](capacity int, hiFrac, loFrac float64) (*Buffer[E], error) {
 		capacity: capacity,
 		hi:       hi,
 		lo:       lo,
-		entries:  make(map[addr.Block]*Entry[E], capacity),
+		idx:      newIndex[E](capacity),
 	}, nil
 }
 
 // Len returns the number of occupied entries.
-func (b *Buffer[E]) Len() int { return len(b.entries) }
+func (b *Buffer[E]) Len() int { return b.idx.n }
 
 // Capacity returns the configured entry count.
 func (b *Buffer[E]) Capacity() int { return b.capacity }
 
 // Full reports whether no entry can be allocated.
-func (b *Buffer[E]) Full() bool { return len(b.entries) >= b.capacity }
+func (b *Buffer[E]) Full() bool { return b.idx.n >= b.capacity }
 
 // AboveHigh reports whether occupancy has reached the high watermark
 // (draining should start).
-func (b *Buffer[E]) AboveHigh() bool { return len(b.entries) >= b.hi }
+func (b *Buffer[E]) AboveHigh() bool { return b.idx.n >= b.hi }
 
 // AboveLow reports whether occupancy is above the low watermark
 // (draining, once started, should continue).
-func (b *Buffer[E]) AboveLow() bool { return len(b.entries) > b.lo }
+func (b *Buffer[E]) AboveLow() bool { return b.idx.n > b.lo }
 
 // Lookup returns the entry holding the block, or nil.
 func (b *Buffer[E]) Lookup(block addr.Block) *Entry[E] {
-	return b.entries[block]
+	return b.idx.get(block)
 }
 
 // Write coalesces a store of size bytes of val at byte offset off within
@@ -125,8 +221,8 @@ func (b *Buffer[E]) WriteInit(asid uint16, block addr.Block, off, size int, val 
 	if off < 0 || size <= 0 || size > 8 || off+size > addr.BlockBytes {
 		return nil, false, fmt.Errorf("pb: invalid write off=%d size=%d", off, size)
 	}
-	e, ok := b.entries[block]
-	if !ok {
+	e := b.idx.get(block)
+	if e == nil {
 		if b.Full() {
 			return nil, false, ErrFull
 		}
@@ -135,7 +231,7 @@ func (b *Buffer[E]) WriteInit(asid uint16, block addr.Block, off, size int, val 
 			e.Data = *init
 		}
 		b.seq++
-		b.entries[block] = e
+		b.idx.put(block, e)
 		b.fifo = append(b.fifo, block)
 		b.allocs++
 		allocated = true
@@ -154,7 +250,7 @@ func (b *Buffer[E]) WriteInit(asid uint16, block addr.Block, off, size int, val 
 // buffer. It fails with ErrFull when no slot is free and with an error
 // if the block is already resident (replication is forbidden).
 func (b *Buffer[E]) Insert(e *Entry[E]) error {
-	if _, ok := b.entries[e.Block]; ok {
+	if b.idx.get(e.Block) != nil {
 		return fmt.Errorf("pb: block %#x already resident (replication forbidden)", uint64(e.Block))
 	}
 	if b.Full() {
@@ -162,7 +258,7 @@ func (b *Buffer[E]) Insert(e *Entry[E]) error {
 	}
 	e.Seq = b.seq
 	b.seq++
-	b.entries[e.Block] = e
+	b.idx.put(e.Block, e)
 	b.fifo = append(b.fifo, e.Block)
 	b.allocs++
 	return nil
@@ -173,11 +269,10 @@ func (b *Buffer[E]) DrainOldest() *Entry[E] {
 	for len(b.fifo) > 0 {
 		block := b.fifo[0]
 		b.fifo = b.fifo[1:]
-		e, ok := b.entries[block]
-		if !ok {
+		e := b.idx.del(block)
+		if e == nil {
 			continue // already removed (flush/invalidate)
 		}
-		delete(b.entries, block)
 		b.drains++
 		b.writeHist = append(b.writeHist, uint64(e.Writes))
 		return e
@@ -191,11 +286,11 @@ func (b *Buffer[E]) DrainOldest() *Entry[E] {
 // order without disturbing other processes' coalescing.
 func (b *Buffer[E]) DrainOldestWhere(pred func(*Entry[E]) bool) *Entry[E] {
 	for _, block := range b.fifo {
-		e, ok := b.entries[block]
-		if !ok || !pred(e) {
+		e := b.idx.get(block)
+		if e == nil || !pred(e) {
 			continue
 		}
-		delete(b.entries, block)
+		b.idx.del(block)
 		b.drains++
 		b.writeHist = append(b.writeHist, uint64(e.Writes))
 		return e
@@ -207,11 +302,10 @@ func (b *Buffer[E]) DrainOldestWhere(pred func(*Entry[E]) bool) *Entry[E] {
 // a forced eviction) and returns it, or nil if absent. The FIFO keeps a
 // stale reference that DrainOldest skips.
 func (b *Buffer[E]) Remove(block addr.Block) *Entry[E] {
-	e, ok := b.entries[block]
-	if !ok {
+	e := b.idx.del(block)
+	if e == nil {
 		return nil
 	}
-	delete(b.entries, block)
 	b.drains++
 	b.writeHist = append(b.writeHist, uint64(e.Writes))
 	return e
@@ -220,9 +314,9 @@ func (b *Buffer[E]) Remove(block addr.Block) *Entry[E] {
 // Entries returns the resident entries oldest-first (crash drains
 // preserve allocation order).
 func (b *Buffer[E]) Entries() []*Entry[E] {
-	out := make([]*Entry[E], 0, len(b.entries))
+	out := make([]*Entry[E], 0, b.idx.n)
 	for _, block := range b.fifo {
-		if e, ok := b.entries[block]; ok {
+		if e := b.idx.get(block); e != nil {
 			out = append(out, e)
 		}
 	}

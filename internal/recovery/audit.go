@@ -109,13 +109,9 @@ func AuditImage(mc *nvm.Controller) (AuditReport, error) {
 	return rep, nil
 }
 
-// sortedPMBlocks returns the persisted blocks in address order.
+// sortedPMBlocks returns the persisted blocks in address order. The PM
+// image's paged table traverses in ascending address order already, so
+// this is a plain read.
 func sortedPMBlocks(mc *nvm.Controller) []addr.Block {
-	blocks := mc.PM().Blocks()
-	for i := 1; i < len(blocks); i++ {
-		for j := i; j > 0 && blocks[j] < blocks[j-1]; j-- {
-			blocks[j], blocks[j-1] = blocks[j-1], blocks[j]
-		}
-	}
-	return blocks
+	return mc.PM().Blocks()
 }

@@ -212,7 +212,7 @@ func RunAttack(e *engine.Engine, a Attack, victim addr.Block) (detected bool, er
 		}
 		oldMinor := uint8(mc.Counters().Value(victim))
 		plain, _ := e.MemoryBlock(victim)
-		if _, err := mc.PersistBlock(victim, plain, nvm.PreparedMeta{}); err != nil {
+		if _, err := mc.PersistBlock(victim, &plain, nil); err != nil {
 			return false, err
 		}
 		mc.PM().Write(victim, oldCT)

@@ -1,0 +1,67 @@
+package runner
+
+import "sync"
+
+// Memo is a concurrency-safe, content-keyed result cache with
+// duplicate-collapse. The first caller of Do for a key computes the
+// value; every other caller — concurrent or later — blocks until that
+// computation finishes and shares its result. Experiment grids use it
+// to simulate each unique cell once: the paper's figures re-run many
+// identical (scheme, size, benchmark) cells, and because a simulation
+// is a pure function of its inputs, replaying the cached result is
+// indistinguishable from recomputing it.
+type Memo[K comparable, V any] struct {
+	mu     sync.Mutex
+	cells  map[K]*memoCell[V]
+	hits   uint64
+	misses uint64
+}
+
+// memoCell is one in-flight or completed computation. done is closed
+// when val/err are final.
+type memoCell[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewMemo returns an empty memo.
+func NewMemo[K comparable, V any]() *Memo[K, V] {
+	return &Memo[K, V]{cells: make(map[K]*memoCell[V])}
+}
+
+// Do returns the memoized value for key, computing it with fn on the
+// first call. hit reports whether an existing (possibly still in
+// flight) computation was reused. A computation that fails is not
+// cached: concurrent waiters observe the error, but a later Do retries.
+func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (val V, hit bool, err error) {
+	m.mu.Lock()
+	if c, ok := m.cells[key]; ok {
+		m.hits++
+		m.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &memoCell[V]{done: make(chan struct{})}
+	m.cells[key] = c
+	m.misses++
+	m.mu.Unlock()
+
+	c.val, c.err = fn()
+	if c.err != nil {
+		m.mu.Lock()
+		delete(m.cells, key)
+		m.mu.Unlock()
+	}
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// Stats returns cumulative (hits, misses). A hit counted against an
+// in-flight computation still waited for the real simulation; the
+// wall-clock win is that it did not run a second one.
+func (m *Memo[K, V]) Stats() (hits, misses uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}

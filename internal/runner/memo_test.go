@@ -1,0 +1,81 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemoComputesOnce(t *testing.T) {
+	m := NewMemo[string, int]()
+	var calls atomic.Int64
+	for i := 0; i < 5; i++ {
+		v, hit, err := m.Do("k", func() (int, error) {
+			calls.Add(1)
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Fatalf("Do = (%d, %v), want (42, nil)", v, err)
+		}
+		if wantHit := i > 0; hit != wantHit {
+			t.Errorf("call %d: hit = %v, want %v", i, hit, wantHit)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1", n)
+	}
+	if hits, misses := m.Stats(); hits != 4 || misses != 1 {
+		t.Errorf("Stats = (%d, %d), want (4, 1)", hits, misses)
+	}
+}
+
+func TestMemoCollapsesConcurrentDuplicates(t *testing.T) {
+	m := NewMemo[int, int]()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const waiters = 8
+
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := m.Do(7, func() (int, error) {
+				calls.Add(1)
+				<-release // hold the computation open so others pile up
+				return 99, nil
+			})
+			if err != nil || v != 99 {
+				t.Errorf("Do = (%d, %v), want (99, nil)", v, err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("fn ran %d times under concurrency, want 1", n)
+	}
+}
+
+func TestMemoDoesNotCacheErrors(t *testing.T) {
+	m := NewMemo[string, int]()
+	boom := errors.New("boom")
+	if _, _, err := m.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, hit, err := m.Do("k", func() (int, error) { return 5, nil })
+	if err != nil || v != 5 || hit {
+		t.Fatalf("retry after error: Do = (%d, %v, hit=%v), want (5, nil, false)", v, err, hit)
+	}
+}
+
+func TestMemoDistinctKeys(t *testing.T) {
+	m := NewMemo[int, int]()
+	for k := 0; k < 10; k++ {
+		v, hit, err := m.Do(k, func() (int, error) { return k * k, nil })
+		if err != nil || v != k*k || hit {
+			t.Fatalf("key %d: Do = (%d, %v, hit=%v)", k, v, err, hit)
+		}
+	}
+}

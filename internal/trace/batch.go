@@ -1,0 +1,93 @@
+package trace
+
+// DefaultBatchCap is the batch capacity the engine's batched replay
+// path uses: large enough to amortize the per-batch refill call far
+// below the per-op cost, small enough (~100KB of columns) to stay
+// cache- and allocation-friendly.
+const DefaultBatchCap = 4096
+
+// Batch is a fixed-capacity columnar chunk of ops: one slice per Op
+// field, appended in lockstep. Producers (the workload generator) fill
+// the columns directly and consumers (the engine's batched replay loop)
+// read them back with no per-op interface dispatch; Op(i) reassembles a
+// scalar Op when one is needed.
+type Batch struct {
+	Kinds []Kind
+	Addrs []uint64
+	Sizes []uint8
+	Datas []uint64
+	Gaps  []uint32
+}
+
+// NewBatch returns an empty batch with the given capacity.
+func NewBatch(capacity int) *Batch {
+	if capacity <= 0 {
+		capacity = DefaultBatchCap
+	}
+	return &Batch{
+		Kinds: make([]Kind, 0, capacity),
+		Addrs: make([]uint64, 0, capacity),
+		Sizes: make([]uint8, 0, capacity),
+		Datas: make([]uint64, 0, capacity),
+		Gaps:  make([]uint32, 0, capacity),
+	}
+}
+
+// Len returns the number of ops in the batch.
+func (b *Batch) Len() int { return len(b.Kinds) }
+
+// Cap returns the batch capacity.
+func (b *Batch) Cap() int { return cap(b.Kinds) }
+
+// Full reports whether the batch has reached its capacity.
+func (b *Batch) Full() bool { return len(b.Kinds) == cap(b.Kinds) }
+
+// Reset empties the batch, keeping its capacity.
+func (b *Batch) Reset() {
+	b.Kinds = b.Kinds[:0]
+	b.Addrs = b.Addrs[:0]
+	b.Sizes = b.Sizes[:0]
+	b.Datas = b.Datas[:0]
+	b.Gaps = b.Gaps[:0]
+}
+
+// Append pushes one op onto every column. The caller is responsible for
+// capacity (check Full) and validity (Validate checks whole batches).
+func (b *Batch) Append(op Op) {
+	b.Kinds = append(b.Kinds, op.Kind)
+	b.Addrs = append(b.Addrs, op.Addr)
+	b.Sizes = append(b.Sizes, op.Size)
+	b.Datas = append(b.Datas, op.Data)
+	b.Gaps = append(b.Gaps, op.Gap)
+}
+
+// Op reassembles the i'th op from the columns.
+func (b *Batch) Op(i int) Op {
+	return Op{
+		Kind: b.Kinds[i],
+		Addr: b.Addrs[i],
+		Size: b.Sizes[i],
+		Data: b.Datas[i],
+		Gap:  b.Gaps[i],
+	}
+}
+
+// Validate checks every op in the batch, returning the first error with
+// its index. Consumers validate once per batch instead of once per op.
+func (b *Batch) Validate() error {
+	for i, n := 0, b.Len(); i < n; i++ {
+		if err := b.Op(i).Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BatchSource yields ops in columnar chunks. Implementations fill b
+// (after resetting it) with up to its capacity of ops and report whether
+// it holds any; false means end of stream. A BatchSource usually also
+// implements Source so scalar consumers can drain it op by op, but a
+// stream must be consumed through one interface or the other, not both.
+type BatchSource interface {
+	NextBatch(b *Batch) bool
+}

@@ -101,14 +101,33 @@ func (g *Generator) Next() (trace.Op, bool) {
 	if g.limit > 0 && g.emitted >= g.limit {
 		return trace.Op{}, false
 	}
+	return g.next(), true
+}
+
+// next emits one op unconditionally (the caller has checked the limit).
+func (g *Generator) next() trace.Op {
 	g.emitted++
 
 	// A store burst in progress keeps priority so within-block locality
 	// is contiguous, as produced by real compilers (struct/buffer fills).
 	if g.burstLeft > 0 || g.r.Bool(g.burstStartProb()) {
-		return g.nextStore(), true
+		return g.nextStore()
 	}
-	return g.nextLoad(), true
+	return g.nextLoad()
+}
+
+// NextBatch implements trace.BatchSource: it fills b's columns directly
+// from the generator state machine, emitting exactly the stream Next
+// would, with no per-op interface dispatch on the replay side.
+func (g *Generator) NextBatch(b *trace.Batch) bool {
+	b.Reset()
+	for !b.Full() {
+		if g.limit > 0 && g.emitted >= g.limit {
+			break
+		}
+		b.Append(g.next())
+	}
+	return b.Len() > 0
 }
 
 // burstStartProb returns the probability of starting a store burst when

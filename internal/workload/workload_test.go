@@ -257,3 +257,47 @@ func BenchmarkGenerate(b *testing.B) {
 		}
 	}
 }
+
+func TestNextBatchMatchesScalarStream(t *testing.T) {
+	for _, name := range []string{"povray", "gamess", "mcf"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 10000
+		scalar, err := NewGenerator(p, 42, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched, err := NewGenerator(p, 42, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := trace.NewBatch(257) // odd capacity so batch edges shift around
+		var got []trace.Op
+		for batched.NextBatch(b) {
+			if b.Len() > 257 {
+				t.Fatalf("batch overfilled: %d", b.Len())
+			}
+			for i := 0; i < b.Len(); i++ {
+				got = append(got, b.Op(i))
+			}
+		}
+		var want []trace.Op
+		for {
+			op, ok := scalar.Next()
+			if !ok {
+				break
+			}
+			want = append(want, op)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: batched stream has %d ops, scalar %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: op %d differs: batched %+v, scalar %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -14,6 +14,23 @@ go test -race ./...
 # otherwise go unnoticed until the next perf run.
 go test -run '^$' -bench . -benchtime 1x ./...
 
-# Crypto differential fuzzers on their seed corpora: the fast SHA-512
-# path must agree with the hand-rolled reference on every gate run.
-go test -run Fuzz ./internal/crypto/...
+# Differential fuzzers on their seed corpora: the fast SHA-512 and
+# AES-NI OTP paths must agree with their hand-rolled references, and
+# the paged table must agree with its map model, on every gate run.
+go test -run Fuzz ./internal/crypto/... ./internal/ptable/...
+
+# Determinism gate: the table4 artifact must be byte-identical between a
+# serial run and a parallel memoized run — the cell memo and the worker
+# pool are pure replay optimizations and may never leak into output.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/secpb-bench" ./cmd/secpb-bench
+"$tmp/secpb-bench" -exp table4 -ops 5000 -parallel 1 -memo=false \
+    > "$tmp/table4_serial.txt" 2>&1
+"$tmp/secpb-bench" -exp table4 -ops 5000 -parallel 0 \
+    > "$tmp/table4_parallel.txt" 2>&1
+if ! diff -q "$tmp/table4_serial.txt" "$tmp/table4_parallel.txt"; then
+    echo "ERROR: parallel memoized table4 differs from serial unmemoized" >&2
+    exit 1
+fi
+echo "table4 identical: serial/-memo=false vs parallel/memoized"

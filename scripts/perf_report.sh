@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Regenerates the raw measurements behind BENCH_PR1.json / BENCH_PR2.json:
+# Regenerates the raw measurements behind BENCH_PR1/PR2/PR3.json:
 #   1. engine/crypto micro-benchmarks (ns/op), including the hash layer
 #      (fast-path vs reference MAC/HashNode, per-walk vs batched BMT),
-#   2. serial vs parallel table4 sweep wall-clock, with an output
-#      byte-identity check across parallelism levels.
+#   2. data-plane micro-benchmarks (paged table vs map, batched vs scalar
+#      replay, AES-NI vs T-table pad generation, memoized sweep),
+#   3. serial vs parallel table4 sweep wall-clock, with an output
+#      byte-identity check across parallelism levels,
+#   4. memoized vs unmemoized -exp all wall-clock, with a byte-identity
+#      check between the two.
 #
 # Run on an idle machine; results land in /tmp/secpb-perf/. The JSON in
 # BENCH_PR1.json is assembled by hand from these outputs together with a
@@ -24,6 +28,12 @@ echo "== hash-layer micro-benchmarks =="
 go test -bench 'BenchmarkMAC$|BenchmarkMACReference$|BenchmarkHashNode$|BenchmarkHashNodeReference$|BenchmarkBMTUpdate$|BenchmarkBMTBatchDrain$' \
     -benchmem -benchtime 2s -run '^$' . | tee "$out/bench_hash.txt"
 
+echo "== data-plane micro-benchmarks =="
+go test -bench 'BenchmarkOTPGenReference$|BenchmarkPTableVsMap|BenchmarkRunBatchVsRun' \
+    -benchmem -benchtime 2s -run '^$' . | tee "$out/bench_dataplane.txt"
+go test -bench 'BenchmarkExpAllMemoized' -benchtime 1x -run '^$' . \
+    | tee "$out/bench_memo.txt"
+
 echo "== table4 sweep: serial vs parallel =="
 go build -o "$out/secpb-bench" ./cmd/secpb-bench
 "$out/secpb-bench" -exp table4 -ops 60000 -parallel 1 \
@@ -38,3 +48,17 @@ else
     exit 1
 fi
 cat "$out/timing_serial.json" "$out/timing_parallel.json"
+
+echo "== exp all: memoized vs unmemoized =="
+time "$out/secpb-bench" -exp all -ops 20000 -memo=false \
+    > "$out/all_nomemo.txt" 2>&1
+time "$out/secpb-bench" -exp all -ops 20000 \
+    -timing "$out/timing_memo.json" > "$out/all_memo.txt" 2>&1
+
+if diff -q "$out/all_nomemo.txt" "$out/all_memo.txt" > /dev/null; then
+    echo "output identical with and without the cell memo"
+else
+    echo "ERROR: memoized output differs from unmemoized" >&2
+    exit 1
+fi
+cat "$out/timing_memo.json"
