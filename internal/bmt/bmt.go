@@ -282,6 +282,24 @@ func (t *Tree) AppendPathNodeIDs(dst []uint64, page uint64) []uint64 {
 	return dst
 }
 
+// SetHasher re-homes the tree on a different hasher. A controller
+// restored from a crash snapshot uses it to hash with its own fresh
+// crypto engine; for the same key the results are identical, so stored
+// nodes, defaults and the root register all remain valid.
+func (t *Tree) SetHasher(h Hasher) { t.h = h }
+
+// Node returns the stored hash at (level, idx) and whether that node was
+// ever materialized (attack/test primitive: tamper experiments read a
+// node before overwriting it with a corrupted value).
+func (t *Tree) Node(level int, idx uint64) (Digest, bool) {
+	t.Sweep()
+	if level < 0 || level >= t.height {
+		return Digest{}, false
+	}
+	d, ok := t.levels[level][idx]
+	return d, ok
+}
+
 // Tamper overwrites a stored node hash (attack primitive for tests). It
 // reports an error if the node was never materialized.
 func (t *Tree) Tamper(level int, idx uint64, newHash Digest) error {

@@ -23,6 +23,7 @@ import (
 
 	"secpb/internal/addr"
 	"secpb/internal/config"
+	"secpb/internal/crashpoint"
 	"secpb/internal/crypto"
 	"secpb/internal/nvm"
 	"secpb/internal/pb"
@@ -63,6 +64,10 @@ func (m *SecMeta) preparedInto(p *nvm.PreparedMeta) {
 	p.BMTDone = m.BMTDone
 }
 
+// PrepareInto is the exported form of preparedInto for callers outside
+// the package (the recovery late-work path re-drains snapshot entries).
+func (m *SecMeta) PrepareInto(p *nvm.PreparedMeta) { m.preparedInto(p) }
+
 // Entry is a SecPB entry.
 type Entry = pb.Entry[SecMeta]
 
@@ -91,6 +96,14 @@ type SecPB struct {
 	// prep is the drain-path scratch PreparedMeta handed to
 	// PersistBlock by pointer; the SecPB is single-threaded.
 	prep nvm.PreparedMeta
+
+	// sink, when non-nil, receives the entry-allocation crash point.
+	sink crashpoint.Sink
+	// inflight is the entry whose drain is currently executing at the
+	// memory controller: it has left the buffer but its tuple update is
+	// not complete, so it is still battery-covered state that a crash
+	// snapshot must capture (the MC's drain latches).
+	inflight *Entry
 
 	// Statistics.
 	stores       uint64
@@ -207,6 +220,9 @@ func (s *SecPB) acceptEntry(entry *Entry, allocated bool, b addr.Block, cost *Ac
 	*cost = AcceptCost{Allocated: allocated}
 	if allocated {
 		s.allocs++
+		if s.sink != nil {
+			s.sink.CrashPoint(crashpoint.EntryAlloc, b)
+		}
 	}
 	if s.scheme == config.SchemeBBB {
 		return nil
@@ -267,9 +283,43 @@ func (s *SecPB) DrainOne() (*Entry, nvm.Cost, error) {
 	if e == nil {
 		return nil, nvm.Cost{}, nil
 	}
+	cost, err := s.persistEntry(e)
+	return e, cost, err
+}
+
+// persistEntry completes one removed entry's tuple at the MC, keeping it
+// visible as in-flight battery-covered state for the duration.
+func (s *SecPB) persistEntry(e *Entry) (nvm.Cost, error) {
+	s.inflight = e
 	e.Ext.preparedInto(&s.prep)
 	cost, err := s.mc.PersistBlock(e.Block, &e.Data, &s.prep)
-	return e, cost, err
+	s.inflight = nil
+	return cost, err
+}
+
+// InFlightDrain returns the entry currently mid-drain at the memory
+// controller, or nil. Non-nil only while a drain's PersistBlock is
+// executing — i.e. when observed from a crash-point callback.
+func (s *SecPB) InFlightDrain() *Entry { return s.inflight }
+
+// SetCrashSink installs (or, with nil, removes) the crash-injection
+// sink receiving the SecPB's entry-allocation crash points.
+func (s *SecPB) SetCrashSink(sink crashpoint.Sink) { s.sink = sink }
+
+// SnapshotEntries returns value copies of the battery-covered entries at
+// this instant: the in-flight drain entry first (it was the FIFO head),
+// then the resident entries oldest-first. This is the state a crash
+// snapshot preserves alongside the NV image.
+func (s *SecPB) SnapshotEntries() []Entry {
+	ents := s.buf.Entries()
+	out := make([]Entry, 0, len(ents)+1)
+	if s.inflight != nil {
+		out = append(out, *s.inflight)
+	}
+	for _, e := range ents {
+		out = append(out, *e)
+	}
+	return out
 }
 
 // RemoveForMigration extracts the entry for a block so it can migrate
@@ -317,8 +367,7 @@ func (s *SecPB) FlushBlock(b addr.Block) (bool, nvm.Cost, error) {
 	if e == nil {
 		return false, nvm.Cost{}, nil
 	}
-	e.Ext.preparedInto(&s.prep)
-	cost, err := s.mc.PersistBlock(e.Block, &e.Data, &s.prep)
+	cost, err := s.persistEntry(e)
 	return true, cost, err
 }
 
@@ -336,8 +385,7 @@ func (s *SecPB) DrainProcess(asid uint16) (entries int, total nvm.Cost, err erro
 			s.mc.CompleteSweep()
 			return entries, total, nil
 		}
-		e.Ext.preparedInto(&s.prep)
-		cost, perr := s.mc.PersistBlock(e.Block, &e.Data, &s.prep)
+		cost, perr := s.persistEntry(e)
 		if perr != nil {
 			return entries, total, perr
 		}

@@ -1,0 +1,83 @@
+// Package crashpoint defines the crash-injection hook vocabulary shared
+// by the instrumented pipeline (engine, SecPB, memory controller) and
+// the fault-injection harness (internal/crashsim).
+//
+// A crash point is an instant between micro-operations at which power
+// may be lost. What survives such an instant is the persisted NV image
+// (PM blocks, storage counters, MACs, BMT nodes and the on-chip NV root
+// register) plus the battery-backed state (SecPB entries, including an
+// entry whose drain is in flight at the memory controller, and the ADR
+// write-pending queue). Everything else — caches, clocks, the core — is
+// volatile and lost.
+//
+// The package is a dependency leaf: the instrumented layers import only
+// this package, and the sink field they carry is nil in normal runs, so
+// a disabled hook costs one pointer compare and no allocation.
+package crashpoint
+
+import "secpb/internal/addr"
+
+// Kind identifies one class of crash point in the store/drain pipeline.
+type Kind uint8
+
+const (
+	// StoreAccept fires in the engine immediately before a store is
+	// offered to the SecPB: the program view and L1 were updated but the
+	// store has not reached the point of persistency. A crash here must
+	// recover to the state without this store.
+	StoreAccept Kind = iota
+	// EntryAlloc fires in the SecPB after a new entry's data block was
+	// written (the store is persistent) but before any of the scheme's
+	// early security-metadata work ran for it.
+	EntryAlloc
+	// WPQFlush fires in the memory controller after a block write was
+	// accepted into the ADR write-pending queue and reached the device,
+	// mid-way through a drain's tuple update (the MAC and BMT updates
+	// for the drained block may not have happened yet).
+	WPQFlush
+	// CounterPersist fires in the memory controller right after a
+	// draining block's storage-counter increment(s) were applied, before
+	// the ciphertext write: the persisted counter is ahead of the
+	// persisted data.
+	CounterPersist
+	// SweepBoundary fires at a drain-epoch boundary, immediately before
+	// the coalesced BMT sweep commits the epoch's staged update walks.
+	SweepBoundary
+
+	numKinds
+)
+
+// NumKinds returns the number of distinct crash-point kinds.
+func NumKinds() int { return int(numKinds) }
+
+// Kinds lists every crash-point kind.
+func Kinds() []Kind {
+	return []Kind{StoreAccept, EntryAlloc, WPQFlush, CounterPersist, SweepBoundary}
+}
+
+// String names the crash point.
+func (k Kind) String() string {
+	switch k {
+	case StoreAccept:
+		return "store-accept"
+	case EntryAlloc:
+		return "entry-alloc"
+	case WPQFlush:
+		return "wpq-flush"
+	case CounterPersist:
+		return "counter-persist"
+	case SweepBoundary:
+		return "sweep-boundary"
+	default:
+		return "crashpoint(?)"
+	}
+}
+
+// Sink receives crash points from the instrumented pipeline. The block
+// is the address the firing micro-operation concerned (the page-less
+// zero block for epoch-level points). Implementations must not retain
+// references into live simulator state beyond the call: the instant the
+// callback returns, execution continues.
+type Sink interface {
+	CrashPoint(k Kind, b addr.Block)
+}

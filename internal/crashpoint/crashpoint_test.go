@@ -1,0 +1,26 @@
+package crashpoint
+
+import "testing"
+
+func TestKindsCoverEveryKind(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != NumKinds() {
+		t.Fatalf("Kinds() lists %d kinds, NumKinds() says %d", len(ks), NumKinds())
+	}
+	seen := make(map[Kind]bool, len(ks))
+	for i, k := range ks {
+		if int(k) != i {
+			t.Errorf("Kinds()[%d] = %v; list must be in declaration order", i, k)
+		}
+		if seen[k] {
+			t.Errorf("kind %v listed twice", k)
+		}
+		seen[k] = true
+		if k.String() == "crashpoint(?)" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(NumKinds()).String() != "crashpoint(?)" {
+		t.Error("out-of-range kind should render the placeholder name")
+	}
+}

@@ -1,0 +1,278 @@
+// Package crashsim crash-tests the SecPB persistence pipeline by
+// differential injection. A seeded workload trace is executed on the
+// full engine/controller/persist-buffer stack, which fires a cheap hook
+// at every crash-relevant micro-op boundary (store acceptance, SecPB
+// entry allocation, WPQ flush, counter persist, BMT sweep). At chosen
+// hook firings the simulated machine "loses power": the persisted NV
+// image and the battery-backed SecPB/WPQ state are deep-copied, the
+// scheme's post-crash late work is run on the copy, and the recovered
+// memory tuple (ciphertext, counter, MAC, BMT root) is verified byte for
+// byte against a shadow golden model that replays exactly the
+// committed-store prefix of the trace. Crash points can be sampled
+// (seeded, without replacement) for large traces or enumerated
+// exhaustively for small ones, and cells of the scheme × workload grid
+// fan out over a worker pool.
+package crashsim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"secpb/internal/addr"
+	"secpb/internal/config"
+	"secpb/internal/crashpoint"
+	"secpb/internal/runner"
+	"secpb/internal/trace"
+	"secpb/internal/workload"
+	"secpb/internal/xrand"
+)
+
+// Options selects the crash-matrix grid and its exploration budget.
+type Options struct {
+	Schemes   []config.Scheme // default: all six SecPB schemes
+	Workloads []string        // default: gcc
+	Ops       int             // trace length per cell (default 2000)
+	Seed      uint64          // base seed; each cell derives its own
+	Points    int             // crash points sampled per cell; <=0 = exhaustive
+	Workers   int             // worker pool size; <=0 = runner default
+	Entries   int             // SecPB entries; <=0 = config default
+	Key       []byte          // memory-encryption key (default fixed)
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Schemes) == 0 {
+		o.Schemes = config.SecPBSchemes()
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = []string{"gcc"}
+	}
+	if o.Ops <= 0 {
+		o.Ops = 2000
+	}
+	if len(o.Key) == 0 {
+		o.Key = []byte("crashsim-fixed-verification-key!")
+	}
+	return o
+}
+
+// CellResult is the crash-matrix outcome for one scheme × workload cell.
+type CellResult struct {
+	Scheme      string            `json:"scheme"`
+	Workload    string            `json:"workload"`
+	Ops         int               `json:"ops"`
+	Seed        uint64            `json:"seed"`
+	TotalPoints uint64            `json:"total_points"`
+	ByKind      map[string]uint64 `json:"points_by_kind"`
+	Injected    int               `json:"injected"`
+	Drained     int               `json:"entries_drained"`
+	Checked     int               `json:"blocks_checked"`
+	Failures    int               `json:"failures"`
+	FirstBad    string            `json:"first_bad,omitempty"`
+}
+
+// Matrix is the full crash-matrix artifact.
+type Matrix struct {
+	Ops    int          `json:"ops"`
+	Seed   uint64       `json:"seed"`
+	Points int          `json:"points_per_cell"`
+	Cells  []CellResult `json:"cells"`
+}
+
+// Clean reports whether every cell recovered every injected crash point
+// byte-identical to the golden model.
+func (m *Matrix) Clean() bool {
+	for i := range m.Cells {
+		if m.Cells[i].Failures > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteJSON emits the artifact with deterministic key order (map keys
+// are sorted by encoding/json; cells keep grid order).
+func (m *Matrix) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Render writes a human-readable table of the matrix.
+func (m *Matrix) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tworkload\tpoints\tinjected\tdrained\tchecked\tfailures\tstatus")
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		status := "ok"
+		if c.Failures > 0 {
+			status = "FAIL: " + c.FirstBad
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			c.Scheme, c.Workload, c.TotalPoints, c.Injected, c.Drained, c.Checked, c.Failures, status)
+	}
+	return tw.Flush()
+}
+
+// cellSeed derives a per-cell seed so every cell samples an independent
+// but reproducible trigger set and trace.
+func cellSeed(base uint64, scheme config.Scheme, wl string) uint64 {
+	h := base ^ 0x9E3779B97F4A7C15
+	for _, s := range []string{scheme.String(), "/", wl} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// chooseTriggers picks k distinct point ordinals out of total using
+// Floyd's sampling so huge totals never allocate more than k slots.
+// k<=0 or k>=total enumerates every point.
+func chooseTriggers(total uint64, k int, seed uint64) []uint64 {
+	if k <= 0 || uint64(k) >= total {
+		out := make([]uint64, total)
+		for i := range out {
+			out[i] = uint64(i)
+		}
+		return out
+	}
+	r := xrand.New(seed)
+	chosen := make(map[uint64]struct{}, k)
+	for j := total - uint64(k); j < total; j++ {
+		t := r.Uint64n(j + 1)
+		if _, dup := chosen[t]; dup {
+			chosen[j] = struct{}{}
+		} else {
+			chosen[t] = struct{}{}
+		}
+	}
+	out := make([]uint64, 0, k)
+	for t := range chosen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func cellConfig(opts Options, scheme config.Scheme, seed uint64) config.Config {
+	cfg := config.Default().WithScheme(scheme)
+	cfg.Seed = seed
+	if opts.Entries > 0 {
+		cfg = cfg.WithSecPBEntries(opts.Entries)
+	}
+	return cfg
+}
+
+// TraceOptions parameterizes a single-trace injection run.
+type TraceOptions struct {
+	Points int               // crash points to sample; <=0 = exhaustive
+	Seed   uint64            // trigger-sampling seed
+	Kinds  []crashpoint.Kind // restrict to these kinds; empty = all
+}
+
+// InjectTrace crash-tests one prepared op slice (synthetic, recorded, or
+// reordered-for-relaxed-consistency) under cfg: a first pass counts the
+// run's crash points, a trigger set is drawn, and a second identical run
+// (the simulator is deterministic) crashes, recovers and verifies at
+// each trigger.
+func InjectTrace(cfg config.Config, prof workload.Profile, key []byte, ops []trace.Op, topt TraceOptions) (CellResult, error) {
+	cell := CellResult{Scheme: cfg.Scheme.String(), Workload: prof.Name, Ops: len(ops), Seed: cfg.Seed}
+	count, err := newInjector(cfg, prof, key, ops, nil, nil)
+	if err != nil {
+		return cell, err
+	}
+	count.setKinds(topt.Kinds)
+	if err := count.Run(); err != nil {
+		return cell, err
+	}
+	total, perKind := count.Points()
+	cell.TotalPoints = total
+	cell.ByKind = make(map[string]uint64, crashpoint.NumKinds())
+	for _, k := range crashpoint.Kinds() {
+		if n := perKind[k]; n > 0 {
+			cell.ByKind[k.String()] = n
+		}
+	}
+	if total == 0 {
+		return cell, fmt.Errorf("crashsim: %s/%s fired no crash points", cfg.Scheme, prof.Name)
+	}
+
+	triggers := chooseTriggers(total, topt.Points, topt.Seed)
+	inj, err := newInjector(cfg, prof, key, ops, triggers, func(snap *Snapshot, golden map[addr.Block][addr.BlockBytes]byte) error {
+		res, err := snap.RecoverVerify(golden)
+		if err != nil {
+			return err
+		}
+		cell.Injected++
+		cell.Drained += res.EntriesDrained
+		cell.Checked += res.BlocksChecked
+		if res.Failures > 0 {
+			cell.Failures += res.Failures
+			if cell.FirstBad == "" {
+				cell.FirstBad = fmt.Sprintf("%s point %d (op %d, %d committed): %s",
+					snap.Kind, snap.PointIndex, snap.OpIndex, snap.Committed, res.FirstBad)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return cell, err
+	}
+	inj.setKinds(topt.Kinds)
+	if err := inj.Run(); err != nil {
+		return cell, err
+	}
+	return cell, nil
+}
+
+// RunCell explores one scheme × workload cell of the matrix grid with a
+// derived per-cell seed for both the trace and the trigger sample.
+func RunCell(scheme config.Scheme, wl string, opts Options) (CellResult, error) {
+	opts = opts.withDefaults()
+	cell := CellResult{Scheme: scheme.String(), Workload: wl, Ops: opts.Ops}
+	prof, err := workload.ByName(wl)
+	if err != nil {
+		return cell, err
+	}
+	seed := cellSeed(opts.Seed, scheme, wl)
+	cfg := cellConfig(opts, scheme, seed)
+	ops, err := workload.Generate(prof, seed, opts.Ops)
+	if err != nil {
+		return cell, err
+	}
+	cell, err = InjectTrace(cfg, prof, opts.Key, ops, TraceOptions{Points: opts.Points, Seed: seed ^ 0xC0FFEE})
+	cell.Workload = wl
+	return cell, err
+}
+
+// Explore runs the full scheme × workload grid, fanning cells out over a
+// bounded worker pool. Each cell is self-contained (own engine, own
+// trace, own crypto engine), so cells parallelize without sharing.
+func Explore(ctx context.Context, opts Options) (*Matrix, error) {
+	opts = opts.withDefaults()
+	type cellKey struct {
+		scheme config.Scheme
+		wl     string
+	}
+	var cells []cellKey
+	for _, s := range opts.Schemes {
+		for _, w := range opts.Workloads {
+			cells = append(cells, cellKey{s, w})
+		}
+	}
+	results, err := runner.Map(ctx, opts.Workers, cells, func(_ context.Context, _ int, c cellKey) (CellResult, error) {
+		return RunCell(c.scheme, c.wl, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{Ops: opts.Ops, Seed: opts.Seed, Points: opts.Points, Cells: results}, nil
+}

@@ -1,0 +1,67 @@
+package crashsim
+
+import (
+	"sort"
+
+	"secpb/internal/addr"
+	"secpb/internal/trace"
+)
+
+// shadow is the golden model: an independent replay of the trace's
+// committed-store prefix. The engine's own program view cannot serve as
+// the reference — it is updated before a store reaches the point of
+// persistency, so at a store-accept crash point it is one store ahead of
+// what recovery may legally reconstruct. The shadow applies a store only
+// once the SecPB has accepted it, advancing monotonically as crash
+// points are captured at ever-larger committed prefixes.
+type shadow struct {
+	ops      []trace.Op
+	storeIdx []int // indices of store ops within ops, in program order
+	mem      map[addr.Block][addr.BlockBytes]byte
+	applied  int // stores applied so far
+}
+
+func newShadow(ops []trace.Op) *shadow {
+	s := &shadow{
+		ops: ops,
+		mem: make(map[addr.Block][addr.BlockBytes]byte),
+	}
+	for i, op := range ops {
+		if op.Kind == trace.Store {
+			s.storeIdx = append(s.storeIdx, i)
+		}
+	}
+	return s
+}
+
+// advanceTo applies stores until exactly committed of them are in the
+// shadow. The committed count never decreases (acceptance is monotone
+// within one run), so this is an incremental catch-up, not a rebuild.
+func (s *shadow) advanceTo(committed int) {
+	for s.applied < committed && s.applied < len(s.storeIdx) {
+		op := s.ops[s.storeIdx[s.applied]]
+		block := addr.BlockOf(op.Addr)
+		blk := s.mem[block]
+		off := int(op.Addr - block.Addr())
+		for i := 0; i < int(op.Size); i++ {
+			blk[off+i] = byte(op.Data >> (8 * i))
+		}
+		s.mem[block] = blk
+		s.applied++
+	}
+}
+
+// view returns the shadow's plaintext image. The map is live — callers
+// use it synchronously and must not retain it across further advances.
+func (s *shadow) view() map[addr.Block][addr.BlockBytes]byte { return s.mem }
+
+// sortedBlocks returns golden's block set in ascending address order so
+// verification order (and the first reported failure) is deterministic.
+func sortedBlocks(golden map[addr.Block][addr.BlockBytes]byte) []addr.Block {
+	out := make([]addr.Block, 0, len(golden))
+	for b := range golden {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

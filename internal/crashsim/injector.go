@@ -1,0 +1,198 @@
+package crashsim
+
+import (
+	"fmt"
+
+	"secpb/internal/addr"
+	"secpb/internal/bmt"
+	"secpb/internal/config"
+	"secpb/internal/core"
+	"secpb/internal/crashpoint"
+	"secpb/internal/engine"
+	"secpb/internal/meta"
+	"secpb/internal/nvm"
+	"secpb/internal/trace"
+	"secpb/internal/workload"
+)
+
+// Snapshot is everything that survives a power failure at one crash
+// point: the persisted NV image (PM blocks, counter store, MAC store,
+// BMT plus its NV root register) and the battery-backed domain (SecPB
+// entries including an interrupted in-flight drain, which models the
+// memory-controller latches the battery also sustains). Volatile state —
+// metadata caches, clocks, the core's program view — is deliberately
+// absent. A Snapshot is single-use: RecoverVerify mutates the captured
+// image while draining.
+type Snapshot struct {
+	Kind       crashpoint.Kind
+	PointIndex uint64 // ordinal among all points fired this run
+	OpIndex    int    // trace op being executed when the point fired
+	Cycle      uint64 // engine clock at capture
+	Committed  int    // stores past the point of persistency
+	InFlight   bool   // a drain was interrupted mid-tuple
+
+	cfg     config.Config
+	key     []byte
+	pm      *nvm.PM
+	ctrs    *meta.CounterStore
+	macs    *meta.MACStore
+	tree    *bmt.Tree
+	entries []core.Entry
+}
+
+// handler receives each captured snapshot together with the golden
+// plaintext image for its committed prefix. The golden map is live
+// shadow state: consume it synchronously, do not retain it.
+type handler func(snap *Snapshot, golden map[addr.Block][addr.BlockBytes]byte) error
+
+// indexedSource feeds a fixed op slice to the engine while remembering
+// which op is in flight, so snapshots can report their trace position.
+type indexedSource struct {
+	ops []trace.Op
+	pos int // index of the op most recently handed out
+}
+
+func (s *indexedSource) Next() (trace.Op, bool) {
+	if s.pos+1 >= len(s.ops) {
+		if s.pos+1 == len(s.ops) {
+			s.pos++
+		}
+		return trace.Op{}, false
+	}
+	s.pos++
+	return s.ops[s.pos], true
+}
+
+// Injector drives one simulated run and crashes it at chosen points. It
+// implements crashpoint.Sink: every hook firing is counted, and firings
+// whose ordinal matches the sorted trigger list are captured, recovered
+// and verified in place. Capturing in place (rather than halting and
+// replaying) is equivalent to a real crash — recovery operates on deep
+// clones of exactly the state a power failure would leave — and lets one
+// pass service thousands of crash points with O(1) snapshots alive.
+type Injector struct {
+	eng      *engine.Engine
+	cfg      config.Config
+	key      []byte
+	src      *indexedSource
+	shadow   *shadow
+	triggers []uint64 // sorted ascending, distinct
+	cursor   int
+	handle   handler
+	mask     []bool // per-kind enable; points of masked-out kinds are not counted
+
+	points  uint64
+	perKind []uint64 // indexed by crashpoint.Kind
+	err     error
+}
+
+func newInjector(cfg config.Config, prof workload.Profile, key []byte, ops []trace.Op, triggers []uint64, h handler) (*Injector, error) {
+	eng, err := engine.New(cfg, prof, key)
+	if err != nil {
+		return nil, err
+	}
+	mask := make([]bool, crashpoint.NumKinds())
+	for i := range mask {
+		mask[i] = true
+	}
+	return &Injector{
+		eng:      eng,
+		cfg:      cfg,
+		key:      append([]byte(nil), key...),
+		src:      &indexedSource{ops: ops, pos: -1},
+		shadow:   newShadow(ops),
+		triggers: triggers,
+		handle:   h,
+		mask:     mask,
+		perKind:  make([]uint64, crashpoint.NumKinds()),
+	}, nil
+}
+
+// setKinds restricts the injector to the given crash-point kinds; other
+// firings are invisible (not counted, never triggered). Empty = all.
+func (in *Injector) setKinds(kinds []crashpoint.Kind) {
+	if len(kinds) == 0 {
+		return
+	}
+	for i := range in.mask {
+		in.mask[i] = false
+	}
+	for _, k := range kinds {
+		in.mask[k] = true
+	}
+}
+
+// CrashPoint implements crashpoint.Sink.
+func (in *Injector) CrashPoint(k crashpoint.Kind, _ addr.Block) {
+	if !in.mask[k] {
+		return
+	}
+	i := in.points
+	in.points++
+	in.perKind[k]++
+	if in.err != nil || in.cursor >= len(in.triggers) || in.triggers[in.cursor] != i {
+		return
+	}
+	in.cursor++
+	snap := in.capture(k, i)
+	if in.handle != nil {
+		if err := in.handle(snap, in.shadow.view()); err != nil {
+			in.err = err // first harness error wins; later triggers are skipped
+		}
+	}
+}
+
+// capture freezes the crash-surviving state at the instant the hook
+// fired. The committed-store count is the SecPB's accepted-store stat:
+// acceptance is the point of persistency, and the stat is bumped only
+// after the entry's data is in battery-backed storage, so it is exact at
+// every hook site regardless of which micro-op (backflow drain,
+// watermark drain, sweep) the point interrupts.
+func (in *Injector) capture(k crashpoint.Kind, i uint64) *Snapshot {
+	spb := in.eng.SecPB()
+	mc := in.eng.Controller()
+	stores, _ := spb.Stats()
+	committed := int(stores)
+	in.shadow.advanceTo(committed)
+	return &Snapshot{
+		Kind:       k,
+		PointIndex: i,
+		OpIndex:    in.src.pos,
+		Cycle:      in.eng.Now(),
+		Committed:  committed,
+		InFlight:   spb.InFlightDrain() != nil,
+		cfg:        in.cfg,
+		key:        in.key,
+		pm:         mc.PM().Snapshot(),
+		ctrs:       mc.Counters().Snapshot(),
+		macs:       mc.MACs().Snapshot(),
+		tree:       mc.Tree().Snapshot(),
+		entries:    spb.SnapshotEntries(),
+	}
+}
+
+// Run executes the trace to completion, firing the sink at every
+// instrumented point. It returns the first harness error (engine
+// failure, recovery machinery breakage) — differential verification
+// failures are the handler's to accumulate, not errors here.
+func (in *Injector) Run() error {
+	in.eng.SetCrashSink(in)
+	defer in.eng.SetCrashSink(nil)
+	if err := in.eng.Run(in.src); err != nil {
+		return fmt.Errorf("crashsim: engine run: %w", err)
+	}
+	if in.err != nil {
+		return in.err
+	}
+	if in.cursor != len(in.triggers) {
+		return fmt.Errorf("crashsim: run fired %d points but %d of %d triggers never matched (nondeterministic point stream?)",
+			in.points, len(in.triggers)-in.cursor, len(in.triggers))
+	}
+	return nil
+}
+
+// Points returns the total number of crash points the run fired and the
+// per-kind breakdown (indexed by crashpoint.Kind).
+func (in *Injector) Points() (total uint64, perKind []uint64) {
+	return in.points, in.perKind
+}

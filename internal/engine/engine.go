@@ -19,6 +19,7 @@ import (
 	"secpb/internal/addr"
 	"secpb/internal/config"
 	"secpb/internal/core"
+	"secpb/internal/crashpoint"
 	"secpb/internal/mem"
 	"secpb/internal/nvm"
 	"secpb/internal/ptable"
@@ -65,6 +66,12 @@ type Engine struct {
 	// be able to cover (the gaps of Figure 3); each entry's point of
 	// persistency rides on the entry itself (pb.Entry.AllocCycle).
 	gapHist *stats.Histogram
+
+	// sink, when non-nil, receives the store-accept crash point; the
+	// same sink is propagated to the SecPB and controller by
+	// SetCrashSink. Nil in normal runs: a disabled pipeline costs one
+	// pointer compare per store and allocates nothing.
+	sink crashpoint.Sink
 
 	// Statistics.
 	instrs        uint64
@@ -138,6 +145,17 @@ func (e *Engine) MemoryBlock(b addr.Block) ([addr.BlockBytes]byte, bool) {
 
 // Now returns the current cycle.
 func (e *Engine) Now() uint64 { return e.now }
+
+// SetCrashSink installs (or, with nil, removes) a crash-injection sink
+// across the whole pipeline: the engine's store-accept point, the
+// SecPB's allocation point, and the controller's drain-path points.
+func (e *Engine) SetCrashSink(s crashpoint.Sink) {
+	e.sink = s
+	if e.spb != nil {
+		e.spb.SetCrashSink(s)
+	}
+	e.mc.SetCrashSink(s)
+}
 
 // advance adds non-memory instruction time: gap instructions plus the
 // memory instruction itself, at the profile's baseline CPI.
@@ -289,6 +307,12 @@ func (e *Engine) doStore(op trace.Op) error {
 
 	// Timing+state: L1D write in parallel with PB acceptance.
 	e.hier.Store(block.Addr())
+
+	// Crash boundary: the program view and L1 hold the store but it has
+	// not reached the point of persistency yet.
+	if e.sink != nil {
+		e.sink.CrashPoint(crashpoint.StoreAccept, block)
+	}
 
 	if e.cfg.Scheme == config.SchemeSP {
 		return e.doStoreSP(block, blk)

@@ -6,6 +6,7 @@ import (
 	"secpb/internal/addr"
 	"secpb/internal/bmt"
 	"secpb/internal/config"
+	"secpb/internal/crashpoint"
 	"secpb/internal/crypto"
 	"secpb/internal/mem"
 	"secpb/internal/meta"
@@ -88,6 +89,14 @@ type Controller struct {
 	// the counter reset made stale.
 	onReencrypt []func(page uint64)
 
+	// sink, when non-nil, receives crash-injection points from the drain
+	// pipeline (WPQ flush, counter persist, sweep boundary). inReencrypt
+	// suppresses points inside a page re-encryption: the operation's
+	// plaintexts live only in MC latches, so it is modelled as atomic —
+	// completed on battery like any in-flight MC operation.
+	sink        crashpoint.Sink
+	inReencrypt bool
+
 	reencrypts uint64
 
 	// Reusable scratch for the drain-path BMT walk and OTP generation;
@@ -123,6 +132,15 @@ func NewController(cfg config.Config, key []byte) (*Controller, error) {
 	c.tree = tree
 	c.ctrs = meta.NewCounterStore()
 	c.macs = meta.NewMACStore()
+	c.initVolatile()
+	return c, nil
+}
+
+// initVolatile builds the controller's volatile structures: the metadata
+// caches and the BMF height model. Both a fresh controller and one
+// restored from a crash snapshot start with them cold.
+func (c *Controller) initVolatile() {
+	cfg := c.cfg
 	if cfg.UnifiedMDC {
 		// One shared structure with the three caches' combined capacity;
 		// associativity scales with the merge so the set count stays a
@@ -142,8 +160,41 @@ func NewController(cfg config.Config, key []byte) (*Controller, error) {
 		c.bmtCache = mem.NewCache("bmt$", cfg.BMTCache)
 	}
 	c.heights = bmt.NewHeightModel(cfg)
+}
+
+// Restore rebuilds a secure controller around the NV state captured at a
+// crash point: the PM image, storage counters, MACs, and the BMT with
+// its root register. The caller owns the passed stores (they are adopted,
+// not copied). Volatile state — the metadata caches, the WPQ occupancy,
+// the crypto engine's derived-key schedule — is rebuilt cold, exactly as
+// a post-crash memory controller would come up; the tree is re-homed on
+// the fresh crypto engine, which hashes identically for the same key.
+func Restore(cfg config.Config, key []byte, pm *PM, ctrs *meta.CounterStore, macs *meta.MACStore, tree *bmt.Tree) (*Controller, error) {
+	if !cfg.Scheme.Secure() {
+		return nil, fmt.Errorf("nvm: Restore requires a secure scheme, got %v", cfg.Scheme)
+	}
+	eng, err := crypto.NewEngine(key)
+	if err != nil {
+		return nil, err
+	}
+	tree.SetHasher(eng)
+	c := &Controller{
+		cfg:    cfg,
+		secure: true,
+		pm:     pm,
+		wpq:    NewWPQ(cfg.WPQEntries),
+		eng:    eng,
+		tree:   tree,
+		ctrs:   ctrs,
+		macs:   macs,
+	}
+	c.initVolatile()
 	return c, nil
 }
+
+// SetCrashSink installs (or, with nil, removes) the crash-injection sink
+// receiving the controller's drain-pipeline crash points.
+func (c *Controller) SetCrashSink(s crashpoint.Sink) { c.sink = s }
 
 // Secure reports whether the controller runs the secure data path.
 func (c *Controller) Secure() bool { return c.secure }
@@ -249,6 +300,9 @@ func (c *Controller) CompleteSweep() int {
 	if !c.secure {
 		return 0
 	}
+	if c.sink != nil {
+		c.sink.CrashPoint(crashpoint.SweepBoundary, 0)
+	}
 	return c.tree.Sweep()
 }
 
@@ -300,6 +354,9 @@ func (c *Controller) ChargeBMTWalk(b addr.Block) Cost {
 func (c *Controller) pmWrite(b addr.Block, data *[addr.BlockBytes]byte) {
 	c.wpq.Accept()
 	c.pm.Write(b, *data)
+	if c.sink != nil && !c.inReencrypt {
+		c.sink.CrashPoint(crashpoint.WPQFlush, b)
+	}
 	// The device drains the queue continuously; retire lazily at half
 	// occupancy to produce a realistic high-water profile.
 	if c.wpq.Occupancy() > c.wpq.Capacity()/2 {
@@ -360,8 +417,12 @@ func (c *Controller) PersistBlock(b addr.Block, plain *[addr.BlockBytes]byte, pr
 	}
 	if prep.CounterDone && prep.Counter != newCtr {
 		// Prepared metadata went stale (page re-encrypted since
-		// allocation and the SecPB missed the invalidation hook).
+		// allocation, or the entry is being re-drained after a crash
+		// interrupted its first drain past the counter increment).
 		prep = &zeroPrepared
+	}
+	if c.sink != nil {
+		c.sink.CrashPoint(crashpoint.CounterPersist, b)
 	}
 
 	// OTP and ciphertext.
@@ -409,6 +470,11 @@ func (c *Controller) PersistBlock(b addr.Block, plain *[addr.BlockBytes]byte, pr
 // notes counter coalescing delays it.
 func (c *Controller) reencryptPage(b addr.Block) (Cost, error) {
 	c.reencrypts++
+	// A page re-encryption's intermediate plaintexts exist only in MC
+	// latches; the battery completes it atomically, so no crash point
+	// may split it (see the crashpoint package doc).
+	c.inReencrypt = true
+	defer func() { c.inReencrypt = false }()
 	var cost Cost
 	cost.PageReencrypt = true
 	page := b.Page()

@@ -312,11 +312,19 @@ func (b *Buffer[E]) Remove(block addr.Block) *Entry[E] {
 }
 
 // Entries returns the resident entries oldest-first (crash drains
-// preserve allocation order).
+// preserve allocation order). A block removed and later re-allocated
+// leaves a stale FIFO slot behind that resolves to the live entry, so
+// each block is emitted only at its first live position — matching
+// where DrainOldest would drain it.
 func (b *Buffer[E]) Entries() []*Entry[E] {
 	out := make([]*Entry[E], 0, b.idx.n)
+	seen := make(map[addr.Block]struct{}, b.idx.n)
 	for _, block := range b.fifo {
+		if _, dup := seen[block]; dup {
+			continue
+		}
 		if e := b.idx.get(block); e != nil {
+			seen[block] = struct{}{}
 			out = append(out, e)
 		}
 	}

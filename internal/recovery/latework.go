@@ -1,0 +1,35 @@
+package recovery
+
+import (
+	"fmt"
+
+	"secpb/internal/core"
+	"secpb/internal/nvm"
+)
+
+// DrainEntries performs the post-crash late work for battery-backed
+// SecPB state captured at a crash point: every entry's memory tuple is
+// completed at the (restored) memory controller in allocation order,
+// consuming whatever prepared metadata the scheme generated early, and
+// the epoch ends with one coalesced BMT sweep — exactly the procedure
+// SecPB.CrashDrain runs on a live buffer.
+//
+// Entries are passed by value (a crash snapshot owns copies, not the
+// live buffer): an entry whose first drain was interrupted mid-tuple is
+// simply re-drained, and PersistBlock's stale-prepared-metadata check
+// regenerates any element the interrupted drain had built under a
+// now-superseded counter.
+func DrainEntries(mc *nvm.Controller, entries []core.Entry) (total nvm.Cost, err error) {
+	var prep nvm.PreparedMeta
+	for i := range entries {
+		e := &entries[i]
+		e.Ext.PrepareInto(&prep)
+		cost, perr := mc.PersistBlock(e.Block, &e.Data, &prep)
+		if perr != nil {
+			return total, fmt.Errorf("recovery: late work for block %#x: %w", e.Block.Addr(), perr)
+		}
+		total.Add(cost)
+	}
+	mc.CompleteSweep()
+	return total, nil
+}

@@ -15,9 +15,12 @@ go test -race ./...
 go test -run '^$' -bench . -benchtime 1x ./...
 
 # Differential fuzzers on their seed corpora: the fast SHA-512 and
-# AES-NI OTP paths must agree with their hand-rolled references, and
-# the paged table must agree with its map model, on every gate run.
-go test -run Fuzz ./internal/crypto/... ./internal/ptable/...
+# AES-NI OTP paths must agree with their hand-rolled references, the
+# paged table and the persist buffer must agree with their map models,
+# and every seeded corruption must be flagged, on every gate run.
+go test -run Fuzz ./internal/crypto/... ./internal/ptable/... \
+    ./internal/pb/... ./internal/recovery/...
+
 
 # Determinism gate: the table4 artifact must be byte-identical between a
 # serial run and a parallel memoized run — the cell memo and the worker
@@ -34,3 +37,10 @@ if ! diff -q "$tmp/table4_serial.txt" "$tmp/table4_parallel.txt"; then
     exit 1
 fi
 echo "table4 identical: serial/-memo=false vs parallel/memoized"
+
+# Crash-matrix smoke: every SecPB scheme survives a fixed-seed set of
+# injected power failures on a short trace, recovering byte-identically
+# to the golden model. The full-budget sweep is TestCrashMatrixFull.
+go build -o "$tmp/secpb-crash" ./cmd/secpb-crash
+"$tmp/secpb-crash" -schemes all -bench gcc -ops 1200 -points 30 -seed 42 \
+    -out "$tmp/crash-matrix.json"
