@@ -205,8 +205,23 @@ type Config struct {
 	PMWriteQueue int
 	PMReadQueue  int
 
+	// Media-fault model (internal/fault). All-zero rates model perfect
+	// media and keep every artifact byte-identical to the fault-free
+	// build; nonzero rates arm a deterministic injector under the PM
+	// device and enable the controller's program-and-verify retry path.
+	FaultSeed          uint64  // injector seed; 0 derives from Seed
+	FaultWriteFailRate float64 // transient write failures, per attempt
+	FaultTornRate      float64 // torn (partial-line) writes, per attempt
+	FaultRotRate       float64 // latent bit rot, per read / decay visit
+	MaxWriteRetries    int     // bounded retries before bad-block remap
+
 	// Seed for workload generation.
 	Seed uint64
+}
+
+// FaultEnabled reports whether any media-fault class has a nonzero rate.
+func (c Config) FaultEnabled() bool {
+	return c.FaultWriteFailRate > 0 || c.FaultTornRate > 0 || c.FaultRotRate > 0
 }
 
 // Default returns the paper's Table I configuration with a 32-entry
@@ -248,6 +263,8 @@ func Default() Config {
 		PMWriteNanos: 150,
 		PMWriteQueue: 128,
 		PMReadQueue:  64,
+
+		MaxWriteRetries: 3,
 
 		Seed: 0x5ec9b,
 	}
@@ -322,6 +339,17 @@ func (c Config) Validate() error {
 	}
 	if c.ClockGHz <= 0 || c.PMReadNanos <= 0 || c.PMWriteNanos <= 0 {
 		return fmt.Errorf("config: clock and PM latencies must be positive")
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"FaultWriteFailRate", c.FaultWriteFailRate}, {"FaultTornRate", c.FaultTornRate}, {"FaultRotRate", c.FaultRotRate}} {
+		if r.v < 0 || r.v >= 1 {
+			return fmt.Errorf("config: %s must be in [0,1), got %v", r.name, r.v)
+		}
+	}
+	if c.MaxWriteRetries < 0 || c.MaxWriteRetries > 16 {
+		return fmt.Errorf("config: MaxWriteRetries out of range: %d", c.MaxWriteRetries)
 	}
 	return nil
 }

@@ -182,8 +182,21 @@ type TraceOptions struct {
 // reordered-for-relaxed-consistency) under cfg: a first pass counts the
 // run's crash points, a trigger set is drawn, and a second identical run
 // (the simulator is deterministic) crashes, recovers and verifies at
-// each trigger.
+// each trigger with the standard four-way RecoverVerify.
 func InjectTrace(cfg config.Config, prof workload.Profile, key []byte, ops []trace.Op, topt TraceOptions) (CellResult, error) {
+	return InjectTraceWith(cfg, prof, key, ops, topt, nil)
+}
+
+// InjectTraceWith is InjectTrace with a custom recovery handler: the
+// injection machinery (point counting, trigger sampling, snapshot
+// capture, golden shadow) is identical, but each triggered crash is
+// handed to h instead of the standard RecoverVerify — the hook for
+// degraded-recovery scenarios such as nested battery-exhaustion crashes.
+// A nil h uses the standard handler. The cell's Injected count is
+// maintained for every handler; Drained/Checked/Failures are only
+// meaningful under the standard one (custom handlers accumulate their
+// own findings).
+func InjectTraceWith(cfg config.Config, prof workload.Profile, key []byte, ops []trace.Op, topt TraceOptions, h Handler) (CellResult, error) {
 	cell := CellResult{Scheme: cfg.Scheme.String(), Workload: prof.Name, Ops: len(ops), Seed: cfg.Seed}
 	count, err := newInjector(cfg, prof, key, ops, nil, nil)
 	if err != nil {
@@ -207,11 +220,14 @@ func InjectTrace(cfg config.Config, prof workload.Profile, key []byte, ops []tra
 
 	triggers := chooseTriggers(total, topt.Points, topt.Seed)
 	inj, err := newInjector(cfg, prof, key, ops, triggers, func(snap *Snapshot, golden map[addr.Block][addr.BlockBytes]byte) error {
+		cell.Injected++
+		if h != nil {
+			return h(snap, golden)
+		}
 		res, err := snap.RecoverVerify(golden)
 		if err != nil {
 			return err
 		}
-		cell.Injected++
 		cell.Drained += res.EntriesDrained
 		cell.Checked += res.BlocksChecked
 		if res.Failures > 0 {

@@ -269,6 +269,109 @@ func TestDetectsWrongGolden(t *testing.T) {
 	}
 }
 
+// TestNestedBudgetCrashResume models a degraded battery: the first
+// recovery boot funds only one entry of late work, crashes again, and a
+// second boot resumes from the persistent late-work journal. Every
+// snapshot with enough pending entries must go through the nested crash
+// and still recover byte-identical to the golden model.
+func TestNestedBudgetCrashResume(t *testing.T) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("nested-crash-resume-key")
+	schemes := []config.Scheme{config.SchemeNoGap, config.SchemeCOBCM}
+	if !testing.Short() {
+		schemes = config.SecPBSchemes()
+	}
+	for _, scheme := range schemes {
+		cfg := config.Default().WithScheme(scheme)
+		cfg.Seed = 0xBA77
+		ops, err := workload.Generate(prof, cfg.Seed, 1200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nested, skipped := 0, 0
+		cell, err := InjectTraceWith(cfg, prof, key, ops, TraceOptions{Points: 25, Seed: 0xBA77 ^ 0xC0FFEE},
+			func(snap *Snapshot, golden map[addr.Block][addr.BlockBytes]byte) error {
+				if snap.NumEntries() < 2 {
+					skipped++ // budget covers everything; no nested crash possible
+					return nil
+				}
+				res, err := snap.RecoverVerifyResumable(golden, 1, false)
+				if err != nil {
+					return err
+				}
+				if !res.Exhausted || !res.Resumed {
+					t.Errorf("%s point %d: %d entries but exhausted=%v resumed=%v",
+						scheme, snap.PointIndex, snap.NumEntries(), res.Exhausted, res.Resumed)
+				}
+				if res.Failures > 0 {
+					t.Errorf("%s point %d: resumed recovery failed: %s", scheme, snap.PointIndex, res.FirstBad)
+				}
+				nested++
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nested == 0 {
+			t.Errorf("%s: no crash point had >=2 pending entries (injected %d, skipped %d); nested-crash test vacuous",
+				scheme, cell.Injected, skipped)
+		}
+	}
+}
+
+// TestNestedCrashDroppedJournalDetected is the negative control: when
+// the nested crash also destroys the late-work journal, the second boot
+// cannot resume, and verification must find the undrained entries
+// missing at least somewhere — otherwise the resume path could be a
+// no-op and the positive test above would pass vacuously.
+func TestNestedCrashDroppedJournalDetected(t *testing.T) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default().WithScheme(config.SchemeCOBCM)
+	cfg.Seed = 0xD10
+	key := []byte("dropped-journal-key")
+	ops, err := workload.Generate(prof, cfg.Seed, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhausted, caught := 0, 0
+	_, err = InjectTraceWith(cfg, prof, key, ops, TraceOptions{Points: 25, Seed: 0xD10 ^ 0xC0FFEE},
+		func(snap *Snapshot, golden map[addr.Block][addr.BlockBytes]byte) error {
+			if snap.NumEntries() < 2 {
+				return nil
+			}
+			res, err := snap.RecoverVerifyResumable(golden, 1, true)
+			if err != nil {
+				return err
+			}
+			if !res.Exhausted {
+				t.Errorf("point %d: %d entries but no battery exhaustion", snap.PointIndex, snap.NumEntries())
+			}
+			if res.Resumed {
+				t.Errorf("point %d: resumed despite dropped journal", snap.PointIndex)
+			}
+			exhausted++
+			if res.Failures > 0 {
+				caught++
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exhausted == 0 {
+		t.Fatal("no nested crash occurred; negative control vacuous")
+	}
+	if caught == 0 {
+		t.Errorf("journal dropped at %d nested crashes, verification never noticed the undrained entries", exhausted)
+	}
+}
+
 func TestChooseTriggers(t *testing.T) {
 	got := chooseTriggers(1000, 50, 7)
 	if len(got) != 50 {

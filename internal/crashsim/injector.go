@@ -40,10 +40,18 @@ type Snapshot struct {
 	entries []core.Entry
 }
 
-// handler receives each captured snapshot together with the golden
+// Handler receives each captured snapshot together with the golden
 // plaintext image for its committed prefix. The golden map is live
-// shadow state: consume it synchronously, do not retain it.
-type handler func(snap *Snapshot, golden map[addr.Block][addr.BlockBytes]byte) error
+// shadow state: consume it synchronously, do not retain it. Custom
+// handlers (InjectTraceWith) choose their own recovery procedure —
+// e.g. RecoverVerifyResumable for nested-crash scenarios — and report
+// findings through state they close over; a returned error aborts the
+// run (harness failure, not a finding).
+type Handler func(snap *Snapshot, golden map[addr.Block][addr.BlockBytes]byte) error
+
+// NumEntries returns how many battery-backed entries the snapshot holds
+// (the late work a recovery must fund).
+func (s *Snapshot) NumEntries() int { return len(s.entries) }
 
 // indexedSource feeds a fixed op slice to the engine while remembering
 // which op is in flight, so snapshots can report their trace position.
@@ -78,7 +86,7 @@ type Injector struct {
 	shadow   *shadow
 	triggers []uint64 // sorted ascending, distinct
 	cursor   int
-	handle   handler
+	handle   Handler
 	mask     []bool // per-kind enable; points of masked-out kinds are not counted
 
 	points  uint64
@@ -86,7 +94,7 @@ type Injector struct {
 	err     error
 }
 
-func newInjector(cfg config.Config, prof workload.Profile, key []byte, ops []trace.Op, triggers []uint64, h handler) (*Injector, error) {
+func newInjector(cfg config.Config, prof workload.Profile, key []byte, ops []trace.Op, triggers []uint64, h Handler) (*Injector, error) {
 	eng, err := engine.New(cfg, prof, key)
 	if err != nil {
 		return nil, err

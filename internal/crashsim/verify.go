@@ -1,9 +1,11 @@
 package crashsim
 
 import (
+	"errors"
 	"fmt"
 
 	"secpb/internal/addr"
+	"secpb/internal/energy"
 	"secpb/internal/nvm"
 	"secpb/internal/recovery"
 )
@@ -15,6 +17,12 @@ type VerifyResult struct {
 	BlocksChecked  int
 	Failures       int
 	FirstBad       string
+
+	// Exhausted reports that the first recovery boot's battery died
+	// mid-drain (a nested crash); Resumed that a second boot replayed
+	// the late-work journal to completion.
+	Exhausted bool
+	Resumed   bool
 }
 
 func (v *VerifyResult) fail(msg string) {
@@ -55,10 +63,68 @@ func (s *Snapshot) RecoverVerify(golden map[addr.Block][addr.BlockBytes]byte) (V
 		res.fail(fmt.Sprintf("late work failed: %v", err))
 		return res, nil
 	}
+	return res, s.verifyImage(mc, golden, &res)
+}
 
+// RecoverVerifyResumable is RecoverVerify under a degraded battery: the
+// first recovery boot funds only budgetEntries entries of late work, so
+// a snapshot holding more suffers a nested crash mid-drain. A second
+// boot then restores the partially-drained NV image (volatile state
+// cold, exactly as after any power loss) and resumes from the persistent
+// late-work journal where the first boot's cursor stopped. With
+// dropJournal the journal is lost in the nested crash — the negative
+// control: the second boot can only audit what already drained, and
+// verification must find the undrained entries missing.
+func (s *Snapshot) RecoverVerifyResumable(golden map[addr.Block][addr.BlockBytes]byte, budgetEntries int, dropJournal bool) (VerifyResult, error) {
+	var res VerifyResult
+	mc, err := nvm.Restore(s.cfg, s.key, s.pm, s.ctrs, s.macs, s.tree)
+	if err != nil {
+		return res, fmt.Errorf("crashsim: restore controller: %w", err)
+	}
+	perJ, err := energy.PerEntryDrainJ(s.cfg.Scheme, s.cfg.BMTLevels)
+	if err != nil {
+		return res, fmt.Errorf("crashsim: per-entry drain energy: %w", err)
+	}
+	// Half an entry of margin past the funded count: the battery browns
+	// out at entry boundaries, never mid-tuple.
+	budget := energy.NewBudget((float64(budgetEntries) + 0.5) * perJ)
+
+	j := recovery.NewJournal(s.entries)
+	_, derr := recovery.DrainEntriesBudget(mc, j, budget)
+	switch {
+	case derr == nil:
+		// The budget covered everything; no nested crash occurred.
+	case errors.Is(derr, recovery.ErrBatteryExhausted):
+		res.Exhausted = true
+		// Second boot: the nested crash preserved the partially-drained
+		// NV image (DrainEntriesBudget committed the staged sweep before
+		// dying); re-restore it so volatile state comes up cold.
+		mc2, rerr := nvm.Restore(s.cfg, s.key, mc.PM(), mc.Counters(), mc.MACs(), mc.Tree())
+		if rerr != nil {
+			return res, fmt.Errorf("crashsim: restore after nested crash: %w", rerr)
+		}
+		mc = mc2
+		if !dropJournal {
+			if _, rerr := recovery.DrainEntriesBudget(mc, j, nil); rerr != nil {
+				res.fail(fmt.Sprintf("journal resume failed: %v", rerr))
+				return res, nil
+			}
+			res.Resumed = true
+		}
+	default:
+		res.fail(fmt.Sprintf("late work failed: %v", derr))
+		return res, nil
+	}
+	res.EntriesDrained = j.Done()
+	return res, s.verifyImage(mc, golden, &res)
+}
+
+// verifyImage runs checks 1-4 (see RecoverVerify) over a recovered
+// controller against the golden plaintext image.
+func (s *Snapshot) verifyImage(mc *nvm.Controller, golden map[addr.Block][addr.BlockBytes]byte, res *VerifyResult) error {
 	audit, err := recovery.AuditImage(mc)
 	if err != nil {
-		return res, fmt.Errorf("crashsim: audit: %w", err)
+		return fmt.Errorf("crashsim: audit: %w", err)
 	}
 	if !audit.Clean() {
 		res.fail("audit: " + audit.FirstBad)
@@ -109,5 +175,5 @@ func (s *Snapshot) RecoverVerify(golden map[addr.Block][addr.BlockBytes]byte) (V
 			res.fail(fmt.Sprintf("block %#x: stored MAC inconsistent with ciphertext/counter", b.Addr()))
 		}
 	}
-	return res, nil
+	return nil
 }

@@ -1,0 +1,69 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"secpb/internal/config"
+)
+
+// TestPerEntryDrainJPinsSecPBEnergy pins the exported per-entry helper
+// against the Table V/VI battery-sizing arithmetic: SecPBEnergy must be
+// exactly entries x PerEntryDrainJ for every battery-backed scheme and
+// size, so the budgeted recovery drain and the battery model can never
+// drift apart.
+func TestPerEntryDrainJPinsSecPBEnergy(t *testing.T) {
+	schemes := append([]config.Scheme{config.SchemeBBB}, config.SecPBSchemes()...)
+	for _, s := range schemes {
+		for _, levels := range []int{2, 8} {
+			per, err := PerEntryDrainJ(s, levels)
+			if err != nil {
+				t.Fatalf("%v: %v", s, err)
+			}
+			if per <= 0 {
+				t.Fatalf("%v: non-positive per-entry drain energy %v", s, per)
+			}
+			for _, entries := range []int{1, 32, 128} {
+				total, err := SecPBEnergy(s, entries, levels)
+				if err != nil {
+					t.Fatalf("%v: %v", s, err)
+				}
+				if want := float64(entries) * per; total != want {
+					t.Errorf("%v entries=%d levels=%d: SecPBEnergy %v != entries*PerEntryDrainJ %v",
+						s, entries, levels, total, want)
+				}
+			}
+		}
+	}
+	// Lazier schemes leave more tuple work for the battery.
+	cobcm, _ := PerEntryDrainJ(config.SchemeCOBCM, 8)
+	nogap, _ := PerEntryDrainJ(config.SchemeNoGap, 8)
+	if cobcm <= nogap {
+		t.Errorf("COBCM per-entry drain %v should exceed NoGap's %v", cobcm, nogap)
+	}
+	if _, err := PerEntryDrainJ(config.SchemeSP, 8); err == nil {
+		t.Error("SP has no SecPB; PerEntryDrainJ must refuse it")
+	}
+}
+
+func TestBudgetConsume(t *testing.T) {
+	b := NewBudget(10)
+	if !b.Consume(4) || !b.Consume(6) {
+		t.Fatal("covered withdrawals refused")
+	}
+	if b.Consume(0.001) {
+		t.Fatal("overdraw allowed")
+	}
+	if b.SpentJ() != 10 || b.RemainingJ() != 0 {
+		t.Fatalf("spent %v remaining %v after exact exhaustion", b.SpentJ(), b.RemainingJ())
+	}
+
+	// The nil budget is wall power.
+	var wall *Budget
+	if !wall.Consume(1e9) {
+		t.Fatal("nil budget refused a withdrawal")
+	}
+	if !math.IsInf(wall.RemainingJ(), 1) || wall.SpentJ() != 0 {
+		t.Fatal("nil budget must report infinite reserve, zero spend")
+	}
+}

@@ -145,12 +145,14 @@ func tupleLateWork(s config.Scheme, bmtLevels int) float64 {
 	return j
 }
 
-// SecPBEnergy returns the worst-case crash-drain energy (J) for a SecPB
-// of the given size running the scheme.
-func SecPBEnergy(s config.Scheme, entries, bmtLevels int) (float64, error) {
-	if entries <= 0 {
-		return 0, fmt.Errorf("energy: entries must be positive, got %d", entries)
-	}
+// PerEntryDrainJ returns the worst-case battery energy (J) to drain one
+// SecPB entry under the scheme: move the entry's eagerly-populated
+// fields to PM and complete whatever tuple work the scheme deferred.
+// This is the Table V/VI per-entry slope, exported so the budgeted
+// recovery drain charges exactly the arithmetic the battery was sized
+// with instead of duplicating Table III. SP has no battery-backed SecPB
+// and is an error.
+func PerEntryDrainJ(s config.Scheme, bmtLevels int) (float64, error) {
 	if s == config.SchemeSP {
 		return 0, fmt.Errorf("energy: SP baseline has no battery-backed SecPB")
 	}
@@ -158,7 +160,62 @@ func SecPBEnergy(s config.Scheme, entries, bmtLevels int) (float64, error) {
 	if s != config.SchemeBBB {
 		perEntry += tupleLateWork(s, bmtLevels)
 	}
+	return perEntry, nil
+}
+
+// SecPBEnergy returns the worst-case crash-drain energy (J) for a SecPB
+// of the given size running the scheme.
+func SecPBEnergy(s config.Scheme, entries, bmtLevels int) (float64, error) {
+	if entries <= 0 {
+		return 0, fmt.Errorf("energy: entries must be positive, got %d", entries)
+	}
+	perEntry, err := PerEntryDrainJ(s, bmtLevels)
+	if err != nil {
+		return 0, err
+	}
 	return float64(entries) * perEntry, nil
+}
+
+// Budget is a draining battery: a joule reserve that recovery late work
+// consumes per entry. A nil *Budget is an unlimited (wall-powered)
+// supply, so callers thread one pointer through both modes.
+type Budget struct {
+	totalJ float64
+	spentJ float64
+}
+
+// NewBudget returns a battery holding the given reserve.
+func NewBudget(joules float64) *Budget { return &Budget{totalJ: joules} }
+
+// Consume withdraws j joules if the reserve covers them, and reports
+// whether it did; an uncovered withdrawal leaves the reserve unchanged
+// (the battery browns out before the work starts, not mid-operation).
+func (b *Budget) Consume(j float64) bool {
+	if b == nil {
+		return true
+	}
+	if b.spentJ+j > b.totalJ {
+		return false
+	}
+	b.spentJ += j
+	return true
+}
+
+// SpentJ returns the energy withdrawn so far (0 for the nil budget).
+func (b *Budget) SpentJ() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.spentJ
+}
+
+// RemainingJ returns the reserve still available; the nil budget reports
+// +Inf.
+func (b *Budget) RemainingJ() float64 {
+	if b == nil {
+		return math.Inf(1)
+	}
+	return b.totalJ - b.spentJ
 }
 
 // EADREnergy returns the worst-case drain energy for eADR: every cache

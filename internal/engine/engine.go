@@ -118,6 +118,11 @@ func New(cfg config.Config, prof workload.Profile, key []byte) (*Engine, error) 
 // Controller exposes the memory controller (for recovery experiments).
 func (e *Engine) Controller() *nvm.Controller { return e.mc }
 
+// MediaStats reports the degraded-mode activity of the run so far: the
+// controller's program-and-verify retries, bad-block remaps, and the PM
+// fault injector's event counts. All zeros with the fault model off.
+func (e *Engine) MediaStats() nvm.MediaStats { return e.mc.MediaStats() }
+
 // SecPB exposes the persist buffer (nil under the SP baseline).
 func (e *Engine) SecPB() *core.SecPB { return e.spb }
 

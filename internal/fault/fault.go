@@ -1,0 +1,235 @@
+// Package fault models NVM media defects: a deterministic, seedable
+// injector that the PM device consults on every write attempt and read.
+// PCM-class media suffers transient write failures (a programmed cell
+// does not latch), torn writes (power or controller glitches leave a
+// line partially programmed), and latent bit rot (resistance drift flips
+// stored bits over time). The injector decides each event from one
+// seeded stream so any fault pattern is exactly reproducible, keeps a
+// structured event log, and supports per-region rate scaling so wear-hot
+// address ranges can be modelled as more fragile than the rest of the
+// device.
+//
+// The package is a dependency leaf: the PM device owns an Injector and
+// asks it questions; the injector never touches device state itself.
+package fault
+
+import (
+	"fmt"
+
+	"secpb/internal/addr"
+	"secpb/internal/xrand"
+)
+
+// Kind classifies one media fault event.
+type Kind uint8
+
+const (
+	// None means the operation completed faithfully.
+	None Kind = iota
+	// WriteFail is a transient write failure: no cell of the line
+	// latches; the previous contents remain.
+	WriteFail
+	// TornWrite is a partial-line write: only a prefix of the line's
+	// bytes latch before the program pulse is lost.
+	TornWrite
+	// BitRot is latent corruption: one stored bit has drifted since it
+	// was written, observed on read or during an at-rest decay pass.
+	BitRot
+)
+
+// String returns the fault-taxonomy name.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case WriteFail:
+		return "write-fail"
+	case TornWrite:
+		return "torn-write"
+	case BitRot:
+		return "bit-rot"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(k))
+	}
+}
+
+// Region scales the configured fault rates over an inclusive range of
+// physical block indices, modelling wear-hot or end-of-life zones.
+type Region struct {
+	FirstBlock uint64  // first physical block index, inclusive
+	LastBlock  uint64  // last physical block index, inclusive
+	Scale      float64 // rate multiplier inside the region
+}
+
+// Config parameterizes an Injector. All rates are probabilities per
+// operation in [0,1); a zero-rate config injects nothing.
+type Config struct {
+	Seed          uint64
+	WriteFailRate float64  // per write attempt
+	TornRate      float64  // per write attempt
+	RotRate       float64  // per read and per block visited by a decay pass
+	Regions       []Region // optional per-region scaling; first match wins
+	LogCap        int      // retained events; <=0 uses DefaultLogCap
+}
+
+// DefaultLogCap bounds the structured event log when Config.LogCap is
+// unset; later events are still counted, just not retained.
+const DefaultLogCap = 256
+
+// Enabled reports whether any fault class has a nonzero rate.
+func (c Config) Enabled() bool {
+	return c.WriteFailRate > 0 || c.TornRate > 0 || c.RotRate > 0
+}
+
+// Event is one structured fault-log record.
+type Event struct {
+	Seq   uint64 // ordinal among all fault decisions the injector made
+	Kind  Kind
+	Block uint64 // physical block index the fault struck
+	Bit   int    // flipped bit within the line (BitRot)
+	Bytes int    // bytes that latched (TornWrite)
+}
+
+// String renders the event for damage reports.
+func (e Event) String() string {
+	switch e.Kind {
+	case TornWrite:
+		return fmt.Sprintf("%s@%#x[%dB] (seq %d)", e.Kind, e.Block<<addr.BlockShift, e.Bytes, e.Seq)
+	case BitRot:
+		return fmt.Sprintf("%s@%#x bit %d (seq %d)", e.Kind, e.Block<<addr.BlockShift, e.Bit, e.Seq)
+	default:
+		return fmt.Sprintf("%s@%#x (seq %d)", e.Kind, e.Block<<addr.BlockShift, e.Seq)
+	}
+}
+
+// Counts aggregates injected events by kind.
+type Counts struct {
+	WriteFails uint64
+	TornWrites uint64
+	RotFlips   uint64
+}
+
+// Total returns the number of injected events.
+func (c Counts) Total() uint64 { return c.WriteFails + c.TornWrites + c.RotFlips }
+
+// Injector draws fault decisions from one seeded stream. Determinism
+// contract: decisions depend only on the seed and the sequence of
+// OnWrite/OnRead/Decay calls, so an identical run replays an identical
+// fault pattern. Not safe for concurrent use (the PM device is not
+// either).
+type Injector struct {
+	cfg     Config
+	rng     *xrand.Rand
+	seq     uint64
+	counts  Counts
+	events  []Event
+	dropped uint64
+}
+
+// New builds an injector; a nil return means cfg injects nothing, and
+// every consumer treats a nil *Injector as fault-free media.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if cfg.LogCap <= 0 {
+		cfg.LogCap = DefaultLogCap
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0xFA017 // any fixed nonzero seed; zero would degrade xoshiro
+	}
+	return &Injector{cfg: cfg, rng: xrand.New(seed)}
+}
+
+// scale returns the rate multiplier for a physical block index.
+func (in *Injector) scale(block uint64) float64 {
+	for i := range in.cfg.Regions {
+		r := &in.cfg.Regions[i]
+		if block >= r.FirstBlock && block <= r.LastBlock {
+			return r.Scale
+		}
+	}
+	return 1
+}
+
+// record logs an injected event (bounded) and bumps its kind counter.
+func (in *Injector) record(ev Event) Event {
+	switch ev.Kind {
+	case WriteFail:
+		in.counts.WriteFails++
+	case TornWrite:
+		in.counts.TornWrites++
+	case BitRot:
+		in.counts.RotFlips++
+	}
+	if len(in.events) < in.cfg.LogCap {
+		in.events = append(in.events, ev)
+	} else {
+		in.dropped++
+	}
+	return ev
+}
+
+// OnWrite decides the outcome of one write attempt to the physical
+// block: a clean write (faulted=false), a full write failure, or a torn
+// write of ev.Bytes leading bytes. Exactly one uniform draw is consumed
+// per call (plus one for the torn length), keeping the decision stream
+// cheap and reproducible.
+func (in *Injector) OnWrite(block uint64) (ev Event, faulted bool) {
+	if in == nil {
+		return Event{}, false
+	}
+	seq := in.seq
+	in.seq++
+	s := in.scale(block)
+	u := in.rng.Float64()
+	switch wf, torn := in.cfg.WriteFailRate*s, in.cfg.TornRate*s; {
+	case u < wf:
+		return in.record(Event{Seq: seq, Kind: WriteFail, Block: block}), true
+	case u < wf+torn:
+		n := 1 + in.rng.Intn(addr.BlockBytes-1) // 1..63 bytes latch
+		return in.record(Event{Seq: seq, Kind: TornWrite, Block: block, Bytes: n}), true
+	}
+	return Event{}, false
+}
+
+// rot is the shared bit-rot decision for OnRead and Decay.
+func (in *Injector) rot(block uint64) (Event, bool) {
+	if in == nil || in.cfg.RotRate <= 0 {
+		return Event{}, false
+	}
+	seq := in.seq
+	in.seq++
+	if in.rng.Float64() >= in.cfg.RotRate*in.scale(block) {
+		return Event{}, false
+	}
+	bit := in.rng.Intn(addr.BlockBytes * 8)
+	return in.record(Event{Seq: seq, Kind: BitRot, Block: block, Bit: bit}), true
+}
+
+// OnRead decides whether this read of the physical block observes a
+// fresh bit-rot flip (which is persistent: the caller applies it to the
+// stored line, not just the returned copy).
+func (in *Injector) OnRead(block uint64) (Event, bool) { return in.rot(block) }
+
+// Decay decides whether the physical block rots during an at-rest decay
+// pass (e.g. the dead time between a crash and recovery).
+func (in *Injector) Decay(block uint64) (Event, bool) { return in.rot(block) }
+
+// Counts returns the per-kind injected-event totals.
+func (in *Injector) Counts() Counts {
+	if in == nil {
+		return Counts{}
+	}
+	return in.counts
+}
+
+// Events returns the retained structured log (oldest first) and how many
+// further events overflowed the cap.
+func (in *Injector) Events() (retained []Event, dropped uint64) {
+	if in == nil {
+		return nil, 0
+	}
+	return in.events, in.dropped
+}

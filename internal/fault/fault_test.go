@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"testing"
+
+	"secpb/internal/addr"
+)
+
+func TestDisabledConfigInjectsNothing(t *testing.T) {
+	if in := New(Config{Seed: 7}); in != nil {
+		t.Fatal("zero-rate config must build a nil injector")
+	}
+	// The nil injector is the fault-free fast path everywhere.
+	var in *Injector
+	if _, faulted := in.OnWrite(3); faulted {
+		t.Error("nil injector faulted a write")
+	}
+	if _, rotted := in.OnRead(3); rotted {
+		t.Error("nil injector rotted a read")
+	}
+	if c := in.Counts(); c.Total() != 0 {
+		t.Error("nil injector has nonzero counts")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{Seed: 42, WriteFailRate: 0.05, TornRate: 0.05, RotRate: 0.02}
+	run := func() []Event {
+		in := New(cfg)
+		for i := uint64(0); i < 4000; i++ {
+			in.OnWrite(i % 512)
+			if i%3 == 0 {
+				in.OnRead(i % 512)
+			}
+		}
+		ev, _ := in.Events()
+		return ev
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("expected events at these rates")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("replay diverged: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEventShapes(t *testing.T) {
+	in := New(Config{Seed: 9, WriteFailRate: 0.25, TornRate: 0.25, RotRate: 0.5, LogCap: 1 << 16})
+	for i := uint64(0); i < 5000; i++ {
+		in.OnWrite(i)
+		in.OnRead(i)
+	}
+	c := in.Counts()
+	if c.WriteFails == 0 || c.TornWrites == 0 || c.RotFlips == 0 {
+		t.Fatalf("expected all three kinds at high rates, got %+v", c)
+	}
+	evs, _ := in.Events()
+	for _, ev := range evs {
+		switch ev.Kind {
+		case TornWrite:
+			if ev.Bytes < 1 || ev.Bytes >= addr.BlockBytes {
+				t.Fatalf("torn write latched %d bytes, want 1..%d", ev.Bytes, addr.BlockBytes-1)
+			}
+		case BitRot:
+			if ev.Bit < 0 || ev.Bit >= addr.BlockBytes*8 {
+				t.Fatalf("rot bit %d out of line range", ev.Bit)
+			}
+		}
+	}
+}
+
+func TestRegionScaling(t *testing.T) {
+	// Blocks 0..99 are immune (scale 0); everything else faults often.
+	cfg := Config{
+		Seed:          3,
+		WriteFailRate: 0.2,
+		Regions:       []Region{{FirstBlock: 0, LastBlock: 99, Scale: 0}},
+		LogCap:        1 << 16,
+	}
+	in := New(cfg)
+	for i := uint64(0); i < 3000; i++ {
+		in.OnWrite(i % 200)
+	}
+	evs, _ := in.Events()
+	if len(evs) == 0 {
+		t.Fatal("expected faults outside the immune region")
+	}
+	for _, ev := range evs {
+		if ev.Block < 100 {
+			t.Fatalf("fault %v struck the zero-scale region", ev)
+		}
+	}
+}
+
+func TestLogCapDropsButCounts(t *testing.T) {
+	in := New(Config{Seed: 1, WriteFailRate: 1, LogCap: 8})
+	for i := uint64(0); i < 100; i++ {
+		in.OnWrite(i)
+	}
+	evs, dropped := in.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want cap 8", len(evs))
+	}
+	if dropped != 92 {
+		t.Fatalf("dropped %d events, want 92", dropped)
+	}
+	if in.Counts().WriteFails != 100 {
+		t.Fatalf("counts must include dropped events, got %d", in.Counts().WriteFails)
+	}
+}

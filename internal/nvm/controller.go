@@ -8,6 +8,7 @@ import (
 	"secpb/internal/config"
 	"secpb/internal/crashpoint"
 	"secpb/internal/crypto"
+	"secpb/internal/fault"
 	"secpb/internal/mem"
 	"secpb/internal/meta"
 )
@@ -98,6 +99,7 @@ type Controller struct {
 	inReencrypt bool
 
 	reencrypts uint64
+	media      MediaStats // retry/remap/backoff counters (pmWriteFaulty)
 
 	// Reusable scratch for the drain-path BMT walk and OTP generation;
 	// the controller models one hardware unit and is not safe for
@@ -117,6 +119,7 @@ func NewController(cfg config.Config, key []byte) (*Controller, error) {
 		pm:     NewPM(cfg.PMSizeBytes),
 		wpq:    NewWPQ(cfg.WPQEntries),
 	}
+	c.armFault()
 	if !c.secure {
 		return c, nil
 	}
@@ -134,6 +137,25 @@ func NewController(cfg config.Config, key []byte) (*Controller, error) {
 	c.macs = meta.NewMACStore()
 	c.initVolatile()
 	return c, nil
+}
+
+// armFault arms the PM device's media-fault injector when the config
+// enables one. The seed defaults to a derivation of the workload seed so
+// fault patterns vary with the experiment but stay reproducible.
+func (c *Controller) armFault() {
+	if !c.cfg.FaultEnabled() {
+		return
+	}
+	seed := c.cfg.FaultSeed
+	if seed == 0 {
+		seed = c.cfg.Seed ^ 0xFA017B10C5
+	}
+	c.pm.SetFault(fault.New(fault.Config{
+		Seed:          seed,
+		WriteFailRate: c.cfg.FaultWriteFailRate,
+		TornRate:      c.cfg.FaultTornRate,
+		RotRate:       c.cfg.FaultRotRate,
+	}))
 }
 
 // initVolatile builds the controller's volatile structures: the metadata
@@ -169,9 +191,15 @@ func (c *Controller) initVolatile() {
 // the crypto engine's derived-key schedule — is rebuilt cold, exactly as
 // a post-crash memory controller would come up; the tree is re-homed on
 // the fresh crypto engine, which hashes identically for the same key.
+// The device's bad-block table is validated against its checksum before
+// the image is trusted (a corrupted table would silently redirect
+// blocks); a mismatch returns a *CorruptStateError.
 func Restore(cfg config.Config, key []byte, pm *PM, ctrs *meta.CounterStore, macs *meta.MACStore, tree *bmt.Tree) (*Controller, error) {
 	if !cfg.Scheme.Secure() {
 		return nil, fmt.Errorf("nvm: Restore requires a secure scheme, got %v", cfg.Scheme)
+	}
+	if err := pm.CheckBadBlocks(); err != nil {
+		return nil, err
 	}
 	eng, err := crypto.NewEngine(key)
 	if err != nil {
@@ -188,6 +216,7 @@ func Restore(cfg config.Config, key []byte, pm *PM, ctrs *meta.CounterStore, mac
 		ctrs:   ctrs,
 		macs:   macs,
 	}
+	c.armFault()
 	c.initVolatile()
 	return c, nil
 }
@@ -198,6 +227,9 @@ func (c *Controller) SetCrashSink(s crashpoint.Sink) { c.sink = s }
 
 // Secure reports whether the controller runs the secure data path.
 func (c *Controller) Secure() bool { return c.secure }
+
+// Config returns the configuration the controller was built with.
+func (c *Controller) Config() config.Config { return c.cfg }
 
 // PM returns the device model.
 func (c *Controller) PM() *PM { return c.pm }
@@ -364,10 +396,21 @@ func (c *Controller) pmWrite(b addr.Block, data *[addr.BlockBytes]byte) {
 	}
 }
 
-// PersistInsecure writes plaintext directly (BBB baseline drain).
-func (c *Controller) PersistInsecure(b addr.Block, plain *[addr.BlockBytes]byte) Cost {
-	c.pmWrite(b, plain)
-	return Cost{PMDataWrites: 1}
+// PersistInsecure writes plaintext directly (BBB baseline drain). The
+// error is non-nil only on faulty media whose retry/remap path is
+// exhausted (*MediaError).
+func (c *Controller) PersistInsecure(b addr.Block, plain *[addr.BlockBytes]byte) (Cost, error) {
+	cost := Cost{PMDataWrites: 1}
+	if c.pm.Faulty() {
+		extra, err := c.pmWriteFaulty(b, plain)
+		cost.Add(extra)
+		if err != nil {
+			return cost, fmt.Errorf("nvm: persist block %#x: %w", b.Addr(), err)
+		}
+	} else {
+		c.pmWrite(b, plain)
+	}
+	return cost, nil
 }
 
 // zeroPrepared is the shared empty PreparedMeta that PersistBlock
@@ -385,7 +428,7 @@ var zeroPrepared PreparedMeta
 // prepared"; PersistBlock never writes through prep.
 func (c *Controller) PersistBlock(b addr.Block, plain *[addr.BlockBytes]byte, prep *PreparedMeta) (Cost, error) {
 	if !c.secure {
-		return c.PersistInsecure(b, plain), nil
+		return c.PersistInsecure(b, plain)
 	}
 	if prep == nil {
 		prep = &zeroPrepared
@@ -436,7 +479,16 @@ func (c *Controller) PersistBlock(b addr.Block, plain *[addr.BlockBytes]byte, pr
 		cost.Add(c.MakeOTPInto(&c.otpBuf, b, newCtr))
 		crypto.XOR(&ct, plain, &c.otpBuf)
 	}
-	c.pmWrite(b, &ct)
+	if c.pm.Faulty() {
+		extra, werr := c.pmWriteFaulty(b, &ct)
+		cost.Add(extra)
+		if werr != nil {
+			cost.PMDataWrites++
+			return cost, fmt.Errorf("nvm: persist block %#x: %w", b.Addr(), werr)
+		}
+	} else {
+		c.pmWrite(b, &ct)
+	}
 	cost.PMDataWrites++
 
 	// MAC.
@@ -504,7 +556,15 @@ func (c *Controller) reencryptPage(b addr.Block) (Cost, error) {
 	for _, s := range plains {
 		newCtr := c.ctrs.Value(s.blk)
 		ct := c.eng.Encrypt(&s.plain, s.blk.Addr(), newCtr)
-		c.pmWrite(s.blk, &ct)
+		if c.pm.Faulty() {
+			extra, werr := c.pmWriteFaulty(s.blk, &ct)
+			cost.Add(extra)
+			if werr != nil {
+				return cost, fmt.Errorf("nvm: re-encrypt page %d: %w", page, werr)
+			}
+		} else {
+			c.pmWrite(s.blk, &ct)
+		}
 		c.macs.Put(s.blk, c.eng.MAC(&ct, s.blk.Addr(), newCtr))
 		cost.AESOps++
 		cost.Hashes++

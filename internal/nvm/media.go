@@ -1,0 +1,121 @@
+package nvm
+
+import (
+	"fmt"
+
+	"secpb/internal/addr"
+	"secpb/internal/crashpoint"
+	"secpb/internal/fault"
+)
+
+// MediaError reports a block whose write could not be made durable even
+// after the bounded retry loop and a spare-cell remap: the device is out
+// of usable cells at that address.
+type MediaError struct {
+	Block    addr.Block
+	Attempts int // total write attempts across the original and spare cell
+}
+
+func (e *MediaError) Error() string {
+	return fmt.Sprintf("nvm: media failure at block %#x after %d write attempts (remap exhausted)",
+		e.Block.Addr(), e.Attempts)
+}
+
+// CorruptStateError reports NV state whose integrity metadata failed
+// validation while being restored (bad-block table, late-work journal).
+// It is a typed error so recovery policy can distinguish "the snapshot
+// itself is damaged" from ordinary recovery findings.
+type CorruptStateError struct {
+	Component string
+	Detail    string
+}
+
+func (e *CorruptStateError) Error() string {
+	return fmt.Sprintf("nvm: corrupt %s: %s", e.Component, e.Detail)
+}
+
+// MediaStats aggregates the controller's degraded-mode activity: the
+// program-and-verify retry loop, bad-block remaps, and the fault
+// injector's own event counts. All zeros on perfect media.
+type MediaStats struct {
+	WriteRetries  uint64 // write attempts beyond each first try
+	Remaps        uint64 // blocks retired to spare cells
+	BackoffCycles uint64 // deterministic backoff stalls charged before retries
+	BadBlocks     int    // current bad-block table size
+	Faults        fault.Counts
+}
+
+// MediaStats returns the controller's degraded-mode counters.
+func (c *Controller) MediaStats() MediaStats {
+	s := c.media
+	s.BadBlocks = c.pm.BadBlocks()
+	s.Faults = c.pm.Fault().Counts()
+	return s
+}
+
+// backoffCycles is the deterministic exponential backoff before retry n
+// (0-based): base, 2x, 4x, ... capped at 64x base, so retry schedules
+// are reproducible cycle for cycle.
+func backoffCycles(base uint64, n int) uint64 {
+	if n > 6 {
+		n = 6
+	}
+	return base << n
+}
+
+// maxRemapsPerWrite bounds how many spare cells one write may consume
+// before the controller reports a MediaError.
+const maxRemapsPerWrite = 1
+
+// pmWriteFaulty is pmWrite hardened for faulty media: each attempt is
+// followed by a write-verify read-back (program-and-verify), failed
+// attempts retry up to cfg.MaxWriteRetries times with deterministic
+// exponential backoff, and a line that exhausts its retries is marked
+// bad and remapped to a spare cell before one final retry round. The
+// returned Cost carries only the extra events (retry writes, verify
+// reads). Callers branch on pm.Faulty() and use plain pmWrite when no
+// injector is armed — keeping the perfect-media machine code (and its
+// artifacts) identical to the unhardened path.
+func (c *Controller) pmWriteFaulty(b addr.Block, data *[addr.BlockBytes]byte) (Cost, error) {
+	var extra Cost
+	c.wpq.Accept()
+	retries := c.cfg.MaxWriteRetries
+	if retries < 0 {
+		retries = 0
+	}
+	ok := false
+	for remaps := 0; ; remaps++ {
+		for attempt := 0; attempt <= retries; attempt++ {
+			if attempt > 0 || remaps > 0 {
+				extra.PMDataWrites++ // the retried write itself
+				c.media.WriteRetries++
+				n := attempt
+				if n > 0 {
+					n--
+				}
+				c.media.BackoffCycles += backoffCycles(c.cfg.PMWriteCycles(), n)
+			}
+			c.pm.WriteAttempt(b, data)
+			extra.PMReads++ // write-verify read-back
+			if c.pm.VerifyWrite(b, data) {
+				ok = true
+				break
+			}
+		}
+		if ok || remaps >= maxRemapsPerWrite {
+			break
+		}
+		c.pm.Retire(b)
+		c.media.Remaps++
+	}
+	if !ok {
+		return extra, &MediaError{Block: b, Attempts: (retries + 1) * (maxRemapsPerWrite + 1)}
+	}
+	if c.sink != nil && !c.inReencrypt {
+		c.sink.CrashPoint(crashpoint.WPQFlush, b)
+	}
+	if c.wpq.Occupancy() > c.wpq.Capacity()/2 {
+		c.wpq.Retire(1)
+	}
+	return extra, nil
+}

@@ -1,0 +1,76 @@
+package recovery
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestHealMatrixSmoke gates the degraded-mode grid: all six schemes on
+// faulty media under a budgeted battery must hold the heal contract.
+func TestHealMatrixSmoke(t *testing.T) {
+	m, err := ExploreHeal(context.Background(), HealOptions{
+		Ops:           1500,
+		Seed:          42,
+		WriteFailRate: 0.05,
+		TornRate:      0.05,
+		RotRate:       0.05,
+		BudgetEntries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(m.Cells))
+	}
+	sawRetry, sawQuar := false, false
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		if !c.Healthy() {
+			t.Errorf("%s/%s: mismatches=%d missedDecay=%d first: %s",
+				c.Scheme, c.Workload, c.Mismatches, c.MissedDecay, c.FirstBad)
+		}
+		if c.Blocks == 0 || c.Drained == 0 {
+			t.Errorf("%s/%s: vacuous cell (%d blocks, %d drained)", c.Scheme, c.Workload, c.Blocks, c.Drained)
+		}
+		sawRetry = sawRetry || c.WriteRetries > 0
+		sawQuar = sawQuar || c.Quarantined > 0
+	}
+	if !sawRetry {
+		t.Error("no cell exercised the retry path; fault rates too low for this trace")
+	}
+	if !sawQuar {
+		t.Error("no cell quarantined anything; rot rate too low for this trace")
+	}
+}
+
+// TestHealMatrixDeterministic pins the artifact: identical options must
+// yield byte-identical JSON regardless of worker-pool size.
+func TestHealMatrixDeterministic(t *testing.T) {
+	opts := HealOptions{
+		Ops:           800,
+		Seed:          7,
+		WriteFailRate: 0.05,
+		TornRate:      0.05,
+		RotRate:       0.03,
+		BudgetEntries: 2,
+	}
+	render := func(workers int) []byte {
+		o := opts
+		o.Workers = workers
+		m, err := ExploreHeal(context.Background(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("serial and parallel heal artifacts differ:\n%s\nvs\n%s", serial, parallel)
+	}
+}

@@ -1,35 +1,209 @@
 package recovery
 
 import (
+	"errors"
 	"fmt"
 
 	"secpb/internal/core"
+	"secpb/internal/energy"
 	"secpb/internal/nvm"
 )
+
+// ErrBatteryExhausted reports that the battery budget died before the
+// late-work journal completed: a nested crash. The NV image is left
+// self-consistent for the drained prefix (the staged BMT sweep is
+// committed before the error returns), and the journal cursor records
+// exactly where a second recovery must resume.
+var ErrBatteryExhausted = errors.New("recovery: battery budget exhausted during late work")
+
+// Journal is the persistent late-work journal: the battery-backed
+// entries a crash left behind plus a durable cursor recording how many
+// have completed their tuple. It survives a nested crash (the battery
+// region that holds the SecPB entries holds it, by construction — it IS
+// those entries plus one counter), so a second recovery boot resumes
+// instead of restarting, and its checksum is validated before any entry
+// is replayed so a corrupted journal surfaces as a typed error rather
+// than draining garbage into PM.
+type Journal struct {
+	entries   []core.Entry
+	done      int
+	sweepDone bool
+	sum       uint64
+}
+
+// NewJournal captures the entries (copied; the caller's slice is not
+// retained) and seals the initial checksum.
+func NewJournal(entries []core.Entry) *Journal {
+	j := &Journal{entries: append([]core.Entry(nil), entries...)}
+	j.seal()
+	return j
+}
+
+// Len returns the total number of journaled entries.
+func (j *Journal) Len() int { return len(j.entries) }
+
+// Done returns how many entries have completed their tuple.
+func (j *Journal) Done() int { return j.done }
+
+// Remaining returns how many entries still owe late work.
+func (j *Journal) Remaining() int { return len(j.entries) - j.done }
+
+// Complete reports whether every entry drained and the closing BMT
+// sweep committed.
+func (j *Journal) Complete() bool { return j.done == len(j.entries) && j.sweepDone }
+
+// checksum hashes the journal contents: cursor, sweep flag, and every
+// entry's identity and payload (block, data, coalescing metadata, and
+// the prepared-tuple fields with their valid bits).
+func (j *Journal) checksum() uint64 {
+	h := fnvOffset
+	var buf [8]byte
+	u64 := func(v uint64) {
+		putU64(buf[:], v)
+		h = fnvAdd(h, buf[:])
+	}
+	u64(uint64(j.done))
+	if j.sweepDone {
+		u64(1)
+	} else {
+		u64(0)
+	}
+	u64(uint64(len(j.entries)))
+	for i := range j.entries {
+		e := &j.entries[i]
+		u64(e.Block.Addr())
+		h = fnvAdd(h, e.Data[:])
+		u64(uint64(e.ASID))
+		u64(uint64(e.Writes))
+		u64(e.Seq)
+		m := &e.Ext
+		u64(boolBits(m.OTPValid) | boolBits(m.CipherValid)<<1 | boolBits(m.CounterValid)<<2 |
+			boolBits(m.BMTDone)<<3 | boolBits(m.MACValid)<<4)
+		h = fnvAdd(h, m.OTP[:])
+		h = fnvAdd(h, m.Cipher[:])
+		u64(m.Counter)
+		u64(uint64(m.CounterAdvance))
+		h = fnvAdd(h, m.MAC[:])
+	}
+	return h
+}
+
+func boolBits(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FNV-1a over little-endian u64 fields, mirroring the nvm package's
+// NV-image checksums.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvAdd(h uint64, p []byte) uint64 {
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}
+
+func putU64(dst []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+// seal re-signs the journal after a durable update.
+func (j *Journal) seal() { j.sum = j.checksum() }
+
+// Validate checks the journal against its checksum, returning a typed
+// *nvm.CorruptStateError on mismatch.
+func (j *Journal) Validate() error {
+	if got := j.checksum(); got != j.sum {
+		return &nvm.CorruptStateError{
+			Component: "late-work journal",
+			Detail: fmt.Sprintf("checksum %#x does not match stored %#x over %d entries (cursor %d)",
+				got, j.sum, len(j.entries), j.done),
+		}
+	}
+	return nil
+}
+
+// Tamper damages the journal without resealing it (test hook for the
+// validation path).
+func (j *Journal) Tamper() error {
+	if len(j.entries) == 0 {
+		return fmt.Errorf("recovery: empty journal cannot be tampered")
+	}
+	j.entries[0].Data[0] ^= 1
+	return nil
+}
 
 // DrainEntries performs the post-crash late work for battery-backed
 // SecPB state captured at a crash point: every entry's memory tuple is
 // completed at the (restored) memory controller in allocation order,
 // consuming whatever prepared metadata the scheme generated early, and
 // the epoch ends with one coalesced BMT sweep — exactly the procedure
-// SecPB.CrashDrain runs on a live buffer.
+// SecPB.CrashDrain runs on a live buffer. It is the unlimited-budget
+// form of DrainEntriesBudget.
 //
 // Entries are passed by value (a crash snapshot owns copies, not the
 // live buffer): an entry whose first drain was interrupted mid-tuple is
 // simply re-drained, and PersistBlock's stale-prepared-metadata check
 // regenerates any element the interrupted drain had built under a
 // now-superseded counter.
-func DrainEntries(mc *nvm.Controller, entries []core.Entry) (total nvm.Cost, err error) {
+func DrainEntries(mc *nvm.Controller, entries []core.Entry) (nvm.Cost, error) {
+	return DrainEntriesBudget(mc, NewJournal(entries), nil)
+}
+
+// DrainEntriesBudget is DrainEntries under a battery: each entry's drain
+// first withdraws the scheme's worst-case per-entry energy (the same
+// Table V arithmetic the battery was sized with, via
+// energy.PerEntryDrainJ) from the budget. If the withdrawal fails the
+// battery is dead — the staged BMT sweep is committed (the per-entry
+// worst case covers the entry's own tree walk, so the reserve that
+// admitted the last entry also closes its sweep), the journal cursor is
+// sealed, and ErrBatteryExhausted reports the nested crash. Re-invoking
+// with the same journal — after the harness re-restores the NV image —
+// resumes at the cursor; completed work is never replayed. A nil budget
+// is wall power.
+//
+// The journal is validated before any entry is replayed; a corrupted
+// journal returns *nvm.CorruptStateError and touches nothing.
+func DrainEntriesBudget(mc *nvm.Controller, j *Journal, budget *energy.Budget) (total nvm.Cost, err error) {
+	if err := j.Validate(); err != nil {
+		return total, err
+	}
+	var perEntryJ float64
+	if budget != nil {
+		cfg := mc.Config()
+		perEntryJ, err = energy.PerEntryDrainJ(cfg.Scheme, cfg.BMTLevels)
+		if err != nil {
+			return total, err
+		}
+	}
 	var prep nvm.PreparedMeta
-	for i := range entries {
-		e := &entries[i]
+	for j.done < len(j.entries) {
+		if !budget.Consume(perEntryJ) {
+			mc.CompleteSweep()
+			j.seal()
+			return total, ErrBatteryExhausted
+		}
+		e := &j.entries[j.done]
 		e.Ext.PrepareInto(&prep)
 		cost, perr := mc.PersistBlock(e.Block, &e.Data, &prep)
 		if perr != nil {
 			return total, fmt.Errorf("recovery: late work for block %#x: %w", e.Block.Addr(), perr)
 		}
 		total.Add(cost)
+		j.done++
+		j.seal() // the cursor advance is a durable journal update
 	}
 	mc.CompleteSweep()
+	j.sweepDone = true
+	j.seal()
 	return total, nil
 }

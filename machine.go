@@ -153,6 +153,54 @@ func (m *Machine) Crash() (CrashReport, error) {
 	return rep, nil
 }
 
+// DamageReport is the block-granular damage summary Machine.Triage
+// distills from the full recovery.TriageReport.
+type DamageReport struct {
+	Blocks      int // persisted blocks triaged
+	Clean       int // pass MAC and BMT path; recovered byte-identically
+	Recoverable int // pass MAC but the BMT cannot corroborate the page
+	Quarantined int // fail MAC; withheld from recovery
+	// RootConsistent reports whether the BMT root register is derivable
+	// from the persisted counter lines.
+	RootConsistent bool
+	// QuarantinedAddrs lists the withheld blocks' addresses in order.
+	QuarantinedAddrs []uint64
+}
+
+// Degraded reports whether anything short of a fully clean image was
+// found.
+func (d DamageReport) Degraded() bool {
+	return d.Quarantined > 0 || d.Recoverable > 0 || !d.RootConsistent
+}
+
+// Triage classifies every block of the post-crash image — clean,
+// recoverable, or quarantined — instead of the all-or-nothing verdict
+// Crash gives. Use it after a Crash that reported unclean (or after
+// tampering experiments) to learn exactly which blocks were damaged;
+// clean and recoverable blocks remain readable via ReadRecovered.
+func (m *Machine) Triage() (DamageReport, error) {
+	if !m.crashed {
+		return DamageReport{}, fmt.Errorf("secpb: triage inspects a post-crash image; call Crash first")
+	}
+	rep, err := recovery.Triage(m.eng.Controller())
+	if err != nil {
+		return DamageReport{}, err
+	}
+	d := DamageReport{
+		Blocks:         rep.Blocks,
+		Clean:          rep.Clean,
+		Recoverable:    rep.Recoverable,
+		Quarantined:    rep.Quarantined,
+		RootConsistent: rep.RootConsistent,
+	}
+	for _, v := range rep.Verdicts {
+		if v.Class == recovery.ClassQuarantined {
+			d.QuarantinedAddrs = append(d.QuarantinedAddrs, v.Block.Addr())
+		}
+	}
+	return d, nil
+}
+
 // ReadRecovered fetches a block from the post-crash PM image through
 // the full secure path: decrypt under the stored counter, verify the
 // MAC and the BMT. It fails if the image was tampered with.

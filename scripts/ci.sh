@@ -44,3 +44,12 @@ echo "table4 identical: serial/-memo=false vs parallel/memoized"
 go build -o "$tmp/secpb-crash" ./cmd/secpb-crash
 "$tmp/secpb-crash" -schemes all -bench gcc -ops 1200 -points 30 -seed 42 \
     -out "$tmp/crash-matrix.json"
+
+# Degraded-mode smoke: the fixed-seed fault sweep (six schemes across
+# clean / torn-write / bit-rot media) plus the nested battery-exhaustion
+# crash tests, then a secpb-heal grid on faulty media under a budgeted
+# battery. The full-length sweep runs without -short in the suite above.
+go test -short -race -run 'TestFaultSweep|TestNested' ./internal/recovery/ ./internal/crashsim/
+go build -o "$tmp/secpb-heal" ./cmd/secpb-heal
+"$tmp/secpb-heal" -schemes all -bench gcc -ops 1500 -faultrate 0.05 -budget 3 \
+    -seed 42 -out "$tmp/heal-matrix.json"

@@ -3,6 +3,8 @@ package secpb
 import (
 	"strings"
 	"testing"
+
+	"secpb/internal/addr"
 )
 
 func TestPublicBenchmarkRun(t *testing.T) {
@@ -203,5 +205,54 @@ func TestMachineAttacksDetected(t *testing.T) {
 		if !detected {
 			t.Errorf("attack %v undetected through public API", a)
 		}
+	}
+}
+
+func TestMachineTriage(t *testing.T) {
+	m, err := NewMachine(DefaultConfig(), []byte("triage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Triage(); err == nil {
+		t.Error("triage on a live machine accepted; it inspects post-crash images")
+	}
+	for i := uint64(0); i < 40; i++ {
+		if err := m.Store(0x9000+i*64, 8, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := m.Crash()
+	if err != nil || !rep.Clean {
+		t.Fatalf("crash not clean: %+v, %v", rep, err)
+	}
+	d, err := m.Triage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Degraded() || d.Clean != d.Blocks || d.Blocks == 0 {
+		t.Fatalf("clean image triaged degraded: %+v", d)
+	}
+
+	// Damage one recovered block's ciphertext; triage must quarantine
+	// exactly it while the rest stays readable.
+	victim := uint64(0x9000 + 7*64)
+	if err := m.eng.Controller().PM().Tamper(addr.BlockOf(victim), 3); err != nil {
+		t.Fatal(err)
+	}
+	d, err = m.Triage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Degraded() || d.Quarantined != 1 {
+		t.Fatalf("tampered image: %+v", d)
+	}
+	if len(d.QuarantinedAddrs) != 1 || d.QuarantinedAddrs[0] != victim&^63 {
+		t.Fatalf("quarantined %#x, want %#x", d.QuarantinedAddrs, victim)
+	}
+	if _, err := m.ReadRecovered(victim); err == nil {
+		t.Error("quarantined block still readable through the secure path")
+	}
+	if _, err := m.ReadRecovered(0x9000); err != nil {
+		t.Errorf("undamaged block unreadable after triage: %v", err)
 	}
 }
