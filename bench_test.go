@@ -452,6 +452,28 @@ func BenchmarkRunBatchVsRun(b *testing.B) {
 			}
 		}
 	})
+	// Apples-to-apples with "scalar": the same pre-materialized op slice,
+	// so the comparison isolates replay dispatch from generator cost
+	// (the asymmetry noted in BENCH_PR3.json).
+	b.Run("batched-pre", func(b *testing.B) {
+		ops, err := workload.Generate(prof, cfg.Seed, nops)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := trace.NewSliceBatchSource(ops)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng, err := engine.New(cfg, prof, []byte("bench-key"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			src.Reset()
+			if err := eng.RunBatch(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkExpAllMemoized measures the overlapping Table IV + Figure 6

@@ -21,7 +21,9 @@ import (
 	"sync"
 	"time"
 
+	"secpb/internal/bmt"
 	"secpb/internal/config"
+	"secpb/internal/crypto"
 	"secpb/internal/harness"
 	"secpb/internal/runner"
 )
@@ -44,6 +46,8 @@ func benchMain() int {
 		benches  = flag.String("bench", "", "comma list of benchmarks (default: all 18)")
 		entries  = flag.Int("secpb", 32, "SecPB entries for the default configuration")
 		parallel = flag.Int("parallel", 0, "simulation workers (0 = one per CPU core, 1 = serial); output is identical at any value")
+		lanes    = flag.Int("lanes", 0, "pin the MAC hash lane width (0 = auto, 1 = scalar, 2/4 = interleaved); output is identical at any width")
+		sweepW   = flag.Int("sweepworkers", 0, "pin the BMT sweep worker count (0 = auto, 1 = serial); output is identical at any count")
 		memo     = flag.Bool("memo", true, "cache simulation cells by content so overlapping experiment grids simulate each unique (config, benchmark, ops) cell once; output is identical either way")
 		verbose  = flag.Bool("v", false, "print per-simulation progress")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of rendered text")
@@ -81,6 +85,11 @@ func benchMain() int {
 			}
 		}()
 	}
+
+	// Reproducibility pins for the parallel data plane: both knobs steer
+	// wall-clock strategy only — artifacts are identical at any setting.
+	crypto.SetDefaultLanes(*lanes)
+	bmt.SetDefaultSweepWorkers(*sweepW)
 
 	opt := harness.DefaultOptions()
 	opt.Ops = *ops
@@ -214,6 +223,8 @@ func benchMain() int {
 		report := map[string]interface{}{
 			"ops":           *ops,
 			"parallelism":   workers,
+			"mac_lanes":     crypto.DefaultLanes(),
+			"sweep_workers": bmt.DefaultSweepWorkers(),
 			"experiments_s": timings,
 			"total_s":       time.Since(startAll).Seconds(),
 		}

@@ -221,10 +221,11 @@ func treeFingerprint(tr *Tree) (Digest, []map[uint64]Digest, uint64) {
 	root := tr.Root()
 	levels := make([]map[uint64]Digest, len(tr.levels))
 	for l, m := range tr.levels {
-		levels[l] = make(map[uint64]Digest, len(m))
-		for k, v := range m {
-			levels[l][k] = v
-		}
+		levels[l] = make(map[uint64]Digest, m.Len())
+		m.Range(func(k uint64, v *Digest) bool {
+			levels[l][k] = *v
+			return true
+		})
 	}
 	return root, levels, tr.Updates()
 }

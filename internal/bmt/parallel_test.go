@@ -1,0 +1,117 @@
+package bmt
+
+import (
+	"fmt"
+	"testing"
+
+	"secpb/internal/crypto"
+)
+
+// stageSpread stages a deterministic pseudo-random dirty set of n
+// distinct leaves spread over every top-level subtree.
+func stageSpread(tr *Tree, n int, salt uint64) {
+	rng := 0x9E3779B97F4A7C15 ^ salt
+	for i := 0; i < n; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		page := rng % tr.Capacity()
+		tr.Update(page, lineBytes(rng, uint8(i), uint8(salt)))
+	}
+}
+
+// TestParallelSweepMatchesSerial holds the parallel sweep identical to
+// the serial one at every worker width: same root, same stored node set
+// and values, same Updates() and PhysicalHashes() counts.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			serial, _ := newTestTree(t, 5)
+			par, _ := newTestTree(t, 5)
+			serial.SetSweepWorkers(1)
+			par.SetSweepWorkers(workers)
+			for round := 0; round < 6; round++ {
+				// Mix wide and narrow dirty sets so both the parallel
+				// path and its degenerate-partition fallback run.
+				n := 7 + round*97
+				stageSpread(serial, n, uint64(round))
+				stageSpread(par, n, uint64(round))
+				sn := serial.Sweep()
+				pn := par.Sweep()
+				if sn != pn {
+					t.Fatalf("round %d: sweep hashed %d nodes parallel vs %d serial", round, pn, sn)
+				}
+			}
+			sr, sl, su := treeFingerprint(serial)
+			pr, pl, pu := treeFingerprint(par)
+			if sr != pr {
+				t.Fatalf("root mismatch: serial %x, parallel %x", sr, pr)
+			}
+			if su != pu {
+				t.Fatalf("updates mismatch: serial %d, parallel %d", su, pu)
+			}
+			if serial.PhysicalHashes() != par.PhysicalHashes() {
+				t.Fatalf("physical hashes: serial %d, parallel %d",
+					serial.PhysicalHashes(), par.PhysicalHashes())
+			}
+			for l := range sl {
+				if len(sl[l]) != len(pl[l]) {
+					t.Fatalf("level %d materialized %d nodes parallel vs %d serial", l, len(pl[l]), len(sl[l]))
+				}
+				for k, v := range sl[l] {
+					if pl[l][k] != v {
+						t.Fatalf("level %d node %d differs", l, k)
+					}
+				}
+			}
+			if err := par.Verify(1, lineBytes(0, 1)); err == nil {
+				t.Fatal("verify of an unstaged line must fail after sweeps")
+			}
+		})
+	}
+}
+
+// TestParallelSweepDefaultPolicy checks the package default steers
+// unpinned trees and that a pinned width overrides it.
+func TestParallelSweepDefaultPolicy(t *testing.T) {
+	tr, _ := newTestTree(t, 4)
+	defer SetDefaultSweepWorkers(0)
+	SetDefaultSweepWorkers(4)
+	stageSpread(tr, 100, 7)
+	if got := tr.resolveSweepWorkers(); got != 4 {
+		t.Fatalf("default workers 4: resolved %d", got)
+	}
+	tr.SetSweepWorkers(1)
+	if got := tr.resolveSweepWorkers(); got != 1 {
+		t.Fatalf("pinned serial under default 4: resolved %d", got)
+	}
+	tr.SetSweepWorkers(16)
+	if got := tr.resolveSweepWorkers(); got != Arity {
+		t.Fatalf("width above arity must clamp to %d, resolved %d", Arity, got)
+	}
+}
+
+// BenchmarkSweepParallel measures a wide coalesced sweep (256 distinct
+// dirty leaves staged per op) at serial and parallel widths. On
+// multi-core hosts the parallel widths show the subtree fan-out win;
+// under GOMAXPROCS=1 they bound the fork/join overhead instead.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			e, err := crypto.NewEngine([]byte("sweep bench"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := New(e, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr.SetSweepWorkers(workers)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				stageSpread(tr, 256, uint64(i))
+				b.StartTimer()
+				tr.Sweep()
+			}
+		})
+	}
+}

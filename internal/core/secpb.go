@@ -297,6 +297,13 @@ func (s *SecPB) persistEntry(e *Entry) (nvm.Cost, error) {
 	return cost, err
 }
 
+// Recycle returns a fully-drained entry to the buffer's free list. The
+// caller asserts it holds the only live reference: the drain loop may
+// recycle an entry once its PersistBlock returned, because crash
+// snapshots copy entries by value and the controller copies the data
+// payload before returning.
+func (s *SecPB) Recycle(e *Entry) { s.buf.Release(e) }
+
 // InFlightDrain returns the entry currently mid-drain at the memory
 // controller, or nil. Non-nil only while a drain's PersistBlock is
 // executing — i.e. when observed from a crash-point callback.

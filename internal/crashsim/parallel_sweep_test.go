@@ -1,0 +1,46 @@
+package crashsim
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"secpb/internal/bmt"
+	"secpb/internal/crypto"
+)
+
+// TestCrashMatrixParallelSweepIdentity re-runs the smoke crash matrix
+// with the BMT sweep pinned parallel and the MAC lanes pinned wide, and
+// requires the full matrix — every injected point, every recovery
+// verdict — to equal the fully serial run. Crash-injected replays stay
+// on the eager drain path by construction, but their sweeps and
+// post-crash verification hashing do go through the parallel code, so
+// this is the gate that crash experiments survive it.
+func TestCrashMatrixParallelSweepIdentity(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	defer bmt.SetDefaultSweepWorkers(0)
+	defer crypto.SetDefaultLanes(0)
+
+	opts := Options{Ops: 600, Seed: 42, Points: 25}
+
+	bmt.SetDefaultSweepWorkers(1)
+	crypto.SetDefaultLanes(1)
+	serial, err := Explore(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{4, 8} {
+		bmt.SetDefaultSweepWorkers(workers)
+		crypto.SetDefaultLanes(4)
+		par, err := Explore(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial.Cells, par.Cells) {
+			t.Errorf("crash matrix differs with %d sweep workers:\nserial: %+v\nparallel: %+v",
+				workers, serial.Cells, par.Cells)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package crypto
+
+import "encoding/binary"
+
+// This file is the multi-buffer SHA-512 path: k independent one-block
+// digests computed in one interleaved pass of the compression function.
+//
+// The scalar fast path (fast512.go) is latency-bound: each of the 80
+// rounds depends on the previous one, so the core's ALUs sit mostly idle
+// while one dependency chain crawls. Interleaving the rounds of several
+// independent messages fills those idle slots — lane j's round i only
+// depends on lane j's round i-1, so a superscalar core overlaps the
+// lanes nearly for free. The win is throughput, not latency: one call
+// finishes k digests in little more time than the scalar path takes for
+// one or two.
+//
+// All messages on this path are keyed-midstate one-block digests — the
+// per-store MACs and the BMT node hashes whose (key block || tail) fits
+// a single compression after the cached key-block midstate. Batches come
+// from the drain path: a drain burst's k MACs and a sweep level's k node
+// hashes are mutually independent by construction.
+//
+// The lane compression is hand-rolled pure Go and therefore a distinct
+// implementation from both the stdlib assembly and the reference SHA512;
+// FuzzMACLanesVsScalar and the crypto unit tests hold all three equal.
+
+// Lanes is the interleave width of the multi-buffer path. Width 2 keeps
+// every state word in a register; width 4 trades some spill traffic for
+// more independent chains. Both are always available — batch entry
+// points pick the widest that the remaining work fills.
+const (
+	lanes2 = 2
+	lanes4 = 4
+)
+
+// initH512 is the SHA-512 initial hash state (also in sha512.go's Reset;
+// duplicated as a value so midstate derivation can start from a copy).
+var initH512 = [8]uint64{
+	0x6a09e667f3bcc908, 0xbb67ae8584caa73b, 0x3c6ef372fe94f82b, 0xa54ff53a5f1d36f1,
+	0x510e527fade682d1, 0x9b05688c2b3e6c1f, 0x1f83d9abfb41bd6b, 0x5be0cd19137e2179,
+}
+
+// midwords returns the eight hash words after absorbing one key block —
+// the raw-register form of the midstate the lane path restores (the
+// stdlib path keeps the same state marshaled; both derive from the same
+// compression of the same block, so they are interchangeable).
+func midwords(block *[BlockBytes]byte) [8]uint64 {
+	h := initH512
+	sha512Blocks(&h, block[:])
+	return h
+}
+
+// laneBlock assembles the final padded compression block for a one-block
+// keyed digest: tail, 0x80 terminator, zero fill, and the 128-bit
+// big-endian bit length of (key block || tail).
+func laneBlock(dst *[BlockBytes]byte, tail []byte) {
+	n := copy(dst[:], tail)
+	dst[n] = 0x80
+	for i := n + 1; i < BlockBytes-8; i++ {
+		dst[i] = 0
+	}
+	binary.BigEndian.PutUint64(dst[BlockBytes-16:], 0)
+	binary.BigEndian.PutUint64(dst[BlockBytes-8:], uint64(BlockBytes+n)*8)
+}
+
+// MACRequest names one MAC computation of a batch: the destination tag
+// and the (ciphertext, address, counter) tuple it authenticates.
+type MACRequest struct {
+	Tag  *[MACSize]byte
+	CT   *[CacheLineSize]byte
+	Addr uint64
+	Ctr  uint64
+}
+
+// MACBatch computes every requested tag. It is observably identical to
+// calling MACInto once per request; the batch form exists so mutually
+// independent MACs — a drain burst's staged tuples — can share one
+// interleaved pass of the compression function when the lane path is
+// in effect (see laneWidth for the policy).
+func (e *Engine) MACBatch(reqs []MACRequest) {
+	if w := e.laneWidth(); w >= lanes2 && len(reqs) >= lanes2 {
+		e.macLanes(reqs, w)
+		return
+	}
+	for i := range reqs {
+		r := &reqs[i]
+		e.MACInto(r.Tag, r.CT, r.Addr, r.Ctr)
+	}
+}
+
+// macLanes computes the batch on the interleaved pure-Go compression:
+// groups of four (then two) requests per pass, scalar pure-Go for the
+// remainder so the whole batch stays on one implementation.
+func (e *Engine) macLanes(reqs []MACRequest, width int) {
+	var p [lanes4][BlockBytes]byte
+	var h [lanes4][8]uint64
+	i := 0
+	if width >= lanes4 {
+		for ; i+lanes4 <= len(reqs); i += lanes4 {
+			for j := 0; j < lanes4; j++ {
+				macLaneBlock(&p[j], &reqs[i+j])
+				h[j] = e.macMidW
+			}
+			sha512Block4(&h[0], &h[1], &h[2], &h[3], &p[0], &p[1], &p[2], &p[3])
+			for j := 0; j < lanes4; j++ {
+				putDigest(reqs[i+j].Tag, &h[j])
+			}
+		}
+	}
+	for ; i+lanes2 <= len(reqs); i += lanes2 {
+		macLaneBlock(&p[0], &reqs[i])
+		macLaneBlock(&p[1], &reqs[i+1])
+		h[0], h[1] = e.macMidW, e.macMidW
+		sha512Block2(&h[0], &h[1], &p[0], &p[1])
+		putDigest(reqs[i].Tag, &h[0])
+		putDigest(reqs[i+1].Tag, &h[1])
+	}
+	for ; i < len(reqs); i++ {
+		macLaneBlock(&p[0], &reqs[i])
+		h[0] = e.macMidW
+		sha512Blocks(&h[0], p[0][:])
+		putDigest(reqs[i].Tag, &h[0])
+	}
+}
+
+// macLaneBlock assembles the single padded compression block for one
+// MAC request: the documented addr || ctr || ct tail under the key
+// midstate, padded for a (key block || tail) message.
+func macLaneBlock(dst *[BlockBytes]byte, r *MACRequest) {
+	var tail [16 + CacheLineSize]byte
+	binary.LittleEndian.PutUint64(tail[0:], r.Addr)
+	binary.LittleEndian.PutUint64(tail[8:], r.Ctr)
+	copy(tail[16:], r.CT[:])
+	laneBlock(dst, tail[:])
+}
+
+// putDigest serializes eight hash words big-endian into a tag.
+func putDigest(dst *[MACSize]byte, h *[8]uint64) {
+	for j := 0; j < 8; j++ {
+		binary.BigEndian.PutUint64(dst[8*j:], h[j])
+	}
+}
+
+// sha512Block2 compresses one 128-byte block into each of two
+// independent hash states in a single interleaved pass.
+func sha512Block2(h0, h1 *[8]uint64, p0, p1 *[BlockBytes]byte) {
+	var w0, w1 [80]uint64
+	for i := 0; i < 16; i++ {
+		w0[i] = binary.BigEndian.Uint64(p0[8*i:])
+		w1[i] = binary.BigEndian.Uint64(p1[8*i:])
+	}
+	for i := 16; i < 80; i++ {
+		v0, u0 := w0[i-15], w0[i-2]
+		v1, u1 := w1[i-15], w1[i-2]
+		w0[i] = w0[i-16] + (rotr64(v0, 1) ^ rotr64(v0, 8) ^ (v0 >> 7)) + w0[i-7] + (rotr64(u0, 19) ^ rotr64(u0, 61) ^ (u0 >> 6))
+		w1[i] = w1[i-16] + (rotr64(v1, 1) ^ rotr64(v1, 8) ^ (v1 >> 7)) + w1[i-7] + (rotr64(u1, 19) ^ rotr64(u1, 61) ^ (u1 >> 6))
+	}
+	a0, b0, c0, d0, e0, f0, g0, hh0 := h0[0], h0[1], h0[2], h0[3], h0[4], h0[5], h0[6], h0[7]
+	a1, b1, c1, d1, e1, f1, g1, hh1 := h1[0], h1[1], h1[2], h1[3], h1[4], h1[5], h1[6], h1[7]
+	for i := 0; i < 80; i++ {
+		k := sha512K[i]
+		t10 := hh0 + (rotr64(e0, 14) ^ rotr64(e0, 18) ^ rotr64(e0, 41)) + ((e0 & f0) ^ (^e0 & g0)) + k + w0[i]
+		t11 := hh1 + (rotr64(e1, 14) ^ rotr64(e1, 18) ^ rotr64(e1, 41)) + ((e1 & f1) ^ (^e1 & g1)) + k + w1[i]
+		t20 := (rotr64(a0, 28) ^ rotr64(a0, 34) ^ rotr64(a0, 39)) + ((a0 & b0) ^ (a0 & c0) ^ (b0 & c0))
+		t21 := (rotr64(a1, 28) ^ rotr64(a1, 34) ^ rotr64(a1, 39)) + ((a1 & b1) ^ (a1 & c1) ^ (b1 & c1))
+		hh0, g0, f0, e0, d0, c0, b0, a0 = g0, f0, e0, d0+t10, c0, b0, a0, t10+t20
+		hh1, g1, f1, e1, d1, c1, b1, a1 = g1, f1, e1, d1+t11, c1, b1, a1, t11+t21
+	}
+	h0[0] += a0
+	h0[1] += b0
+	h0[2] += c0
+	h0[3] += d0
+	h0[4] += e0
+	h0[5] += f0
+	h0[6] += g0
+	h0[7] += hh0
+	h1[0] += a1
+	h1[1] += b1
+	h1[2] += c1
+	h1[3] += d1
+	h1[4] += e1
+	h1[5] += f1
+	h1[6] += g1
+	h1[7] += hh1
+}
+
+// sha512Block4 compresses one 128-byte block into each of four
+// independent hash states in a single interleaved pass.
+func sha512Block4(h0, h1, h2, h3 *[8]uint64, p0, p1, p2, p3 *[BlockBytes]byte) {
+	var w0, w1, w2, w3 [80]uint64
+	for i := 0; i < 16; i++ {
+		w0[i] = binary.BigEndian.Uint64(p0[8*i:])
+		w1[i] = binary.BigEndian.Uint64(p1[8*i:])
+		w2[i] = binary.BigEndian.Uint64(p2[8*i:])
+		w3[i] = binary.BigEndian.Uint64(p3[8*i:])
+	}
+	for i := 16; i < 80; i++ {
+		v0, u0 := w0[i-15], w0[i-2]
+		v1, u1 := w1[i-15], w1[i-2]
+		v2, u2 := w2[i-15], w2[i-2]
+		v3, u3 := w3[i-15], w3[i-2]
+		w0[i] = w0[i-16] + (rotr64(v0, 1) ^ rotr64(v0, 8) ^ (v0 >> 7)) + w0[i-7] + (rotr64(u0, 19) ^ rotr64(u0, 61) ^ (u0 >> 6))
+		w1[i] = w1[i-16] + (rotr64(v1, 1) ^ rotr64(v1, 8) ^ (v1 >> 7)) + w1[i-7] + (rotr64(u1, 19) ^ rotr64(u1, 61) ^ (u1 >> 6))
+		w2[i] = w2[i-16] + (rotr64(v2, 1) ^ rotr64(v2, 8) ^ (v2 >> 7)) + w2[i-7] + (rotr64(u2, 19) ^ rotr64(u2, 61) ^ (u2 >> 6))
+		w3[i] = w3[i-16] + (rotr64(v3, 1) ^ rotr64(v3, 8) ^ (v3 >> 7)) + w3[i-7] + (rotr64(u3, 19) ^ rotr64(u3, 61) ^ (u3 >> 6))
+	}
+	a0, b0, c0, d0, e0, f0, g0, hh0 := h0[0], h0[1], h0[2], h0[3], h0[4], h0[5], h0[6], h0[7]
+	a1, b1, c1, d1, e1, f1, g1, hh1 := h1[0], h1[1], h1[2], h1[3], h1[4], h1[5], h1[6], h1[7]
+	a2, b2, c2, d2, e2, f2, g2, hh2 := h2[0], h2[1], h2[2], h2[3], h2[4], h2[5], h2[6], h2[7]
+	a3, b3, c3, d3, e3, f3, g3, hh3 := h3[0], h3[1], h3[2], h3[3], h3[4], h3[5], h3[6], h3[7]
+	for i := 0; i < 80; i++ {
+		k := sha512K[i]
+		t10 := hh0 + (rotr64(e0, 14) ^ rotr64(e0, 18) ^ rotr64(e0, 41)) + ((e0 & f0) ^ (^e0 & g0)) + k + w0[i]
+		t11 := hh1 + (rotr64(e1, 14) ^ rotr64(e1, 18) ^ rotr64(e1, 41)) + ((e1 & f1) ^ (^e1 & g1)) + k + w1[i]
+		t12 := hh2 + (rotr64(e2, 14) ^ rotr64(e2, 18) ^ rotr64(e2, 41)) + ((e2 & f2) ^ (^e2 & g2)) + k + w2[i]
+		t13 := hh3 + (rotr64(e3, 14) ^ rotr64(e3, 18) ^ rotr64(e3, 41)) + ((e3 & f3) ^ (^e3 & g3)) + k + w3[i]
+		t20 := (rotr64(a0, 28) ^ rotr64(a0, 34) ^ rotr64(a0, 39)) + ((a0 & b0) ^ (a0 & c0) ^ (b0 & c0))
+		t21 := (rotr64(a1, 28) ^ rotr64(a1, 34) ^ rotr64(a1, 39)) + ((a1 & b1) ^ (a1 & c1) ^ (b1 & c1))
+		t22 := (rotr64(a2, 28) ^ rotr64(a2, 34) ^ rotr64(a2, 39)) + ((a2 & b2) ^ (a2 & c2) ^ (b2 & c2))
+		t23 := (rotr64(a3, 28) ^ rotr64(a3, 34) ^ rotr64(a3, 39)) + ((a3 & b3) ^ (a3 & c3) ^ (b3 & c3))
+		hh0, g0, f0, e0, d0, c0, b0, a0 = g0, f0, e0, d0+t10, c0, b0, a0, t10+t20
+		hh1, g1, f1, e1, d1, c1, b1, a1 = g1, f1, e1, d1+t11, c1, b1, a1, t11+t21
+		hh2, g2, f2, e2, d2, c2, b2, a2 = g2, f2, e2, d2+t12, c2, b2, a2, t12+t22
+		hh3, g3, f3, e3, d3, c3, b3, a3 = g3, f3, e3, d3+t13, c3, b3, a3, t13+t23
+	}
+	h0[0] += a0
+	h0[1] += b0
+	h0[2] += c0
+	h0[3] += d0
+	h0[4] += e0
+	h0[5] += f0
+	h0[6] += g0
+	h0[7] += hh0
+	h1[0] += a1
+	h1[1] += b1
+	h1[2] += c1
+	h1[3] += d1
+	h1[4] += e1
+	h1[5] += f1
+	h1[6] += g1
+	h1[7] += hh1
+	h2[0] += a2
+	h2[1] += b2
+	h2[2] += c2
+	h2[3] += d2
+	h2[4] += e2
+	h2[5] += f2
+	h2[6] += g2
+	h2[7] += hh2
+	h3[0] += a3
+	h3[1] += b3
+	h3[2] += c3
+	h3[3] += d3
+	h3[4] += e3
+	h3[5] += f3
+	h3[6] += g3
+	h3[7] += hh3
+}

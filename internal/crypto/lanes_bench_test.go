@@ -1,0 +1,93 @@
+package crypto
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkMACBatch measures MACBatch throughput per 8-tag batch at
+// every lane policy: auto (scalar stdlib where available), pinned
+// scalar, and the pure-Go interleaved widths. On targets with SHA-512
+// assembly the scalar path wins — that asymmetry is why auto prefers
+// it — while the lane widths show what the multi-buffer path delivers
+// when state capture (and the assembly) is unavailable.
+func BenchmarkMACBatch(b *testing.B) {
+	e, err := NewEngine([]byte("bench-key"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, _ := makeBatch(8, nil)
+	for _, cfg := range []struct {
+		name  string
+		width int
+	}{
+		{"auto", 0}, {"scalar", 1}, {"lanes2", 2}, {"lanes4", 4},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			e.SetLanes(cfg.width)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j := range reqs {
+					reqs[j].Ctr = uint64(i)
+				}
+				e.MACBatch(reqs)
+			}
+		})
+	}
+	e.SetLanes(0)
+}
+
+// BenchmarkLaneCompression isolates the raw compression-function cost
+// of 4 one-block digests: the scalar stdlib fast path, the interleaved
+// lanes, and the non-interleaved pure-Go scalar loop.
+func BenchmarkLaneCompression(b *testing.B) {
+	e, err := NewEngine([]byte("bench-key"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ct [CacheLineSize]byte
+	b.Run("scalar4", func(b *testing.B) {
+		var tag [MACSize]byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 4; j++ {
+				e.MACInto(&tag, &ct, uint64(i)<<6, uint64(j))
+			}
+		}
+	})
+	for _, width := range []int{2, 4} {
+		b.Run(fmt.Sprintf("lanes%d", width), func(b *testing.B) {
+			mid := midwords(&[BlockBytes]byte{})
+			var p [4][BlockBytes]byte
+			var h [4][8]uint64
+			var tail [16 + CacheLineSize]byte
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for g := 0; g < 4; g += width {
+					for j := 0; j < width; j++ {
+						h[j] = mid
+						laneBlock(&p[j], tail[:])
+					}
+					if width == 2 {
+						sha512Block2(&h[0], &h[1], &p[0], &p[1])
+					} else {
+						sha512Block4(&h[0], &h[1], &h[2], &h[3], &p[0], &p[1], &p[2], &p[3])
+					}
+				}
+			}
+		})
+	}
+	b.Run("purego1x4", func(b *testing.B) {
+		mid := midwords(&[BlockBytes]byte{})
+		var p0 [BlockBytes]byte
+		var tail [16 + CacheLineSize]byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 4; j++ {
+				h0 := mid
+				laneBlock(&p0, tail[:])
+				sha512Blocks(&h0, p0[:])
+			}
+		}
+	})
+}

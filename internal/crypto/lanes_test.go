@@ -1,0 +1,145 @@
+package crypto
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// makeBatch builds n deterministic MAC requests with distinct tags,
+// ciphertexts, addresses, and counters seeded from a fuzz-controlled
+// byte string.
+func makeBatch(n int, seed []byte) ([]MACRequest, []*[MACSize]byte) {
+	reqs := make([]MACRequest, n)
+	tags := make([]*[MACSize]byte, n)
+	for i := range reqs {
+		ct := new([CacheLineSize]byte)
+		for j := range ct {
+			v := byte(i*CacheLineSize + j)
+			if len(seed) > 0 {
+				v ^= seed[(i*CacheLineSize+j)%len(seed)]
+			}
+			ct[j] = v
+		}
+		tags[i] = new([MACSize]byte)
+		var addr, ctr uint64 = uint64(i) << 6, uint64(i) * 3
+		if len(seed) >= 16 {
+			addr ^= binary.LittleEndian.Uint64(seed[:8])
+			ctr ^= binary.LittleEndian.Uint64(seed[8:16])
+		}
+		reqs[i] = MACRequest{Tag: tags[i], CT: ct, Addr: addr, Ctr: ctr}
+	}
+	return reqs, tags
+}
+
+// TestMACBatchWidthsMatchReference holds every lane width equal to the
+// reference MAC over batch sizes that exercise the 4-lane groups, the
+// 2-lane groups, and the scalar remainder in all combinations.
+func TestMACBatchWidthsMatchReference(t *testing.T) {
+	e, err := NewEngine([]byte("lanes test key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{0, 1, 2, 4} {
+		for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 16} {
+			reqs, tags := makeBatch(n, nil)
+			e.SetLanes(width)
+			e.MACBatch(reqs)
+			for i := range reqs {
+				want := e.MACReference(reqs[i].CT, reqs[i].Addr, reqs[i].Ctr)
+				if *tags[i] != want {
+					t.Fatalf("width %d, batch %d: tag %d differs from reference", width, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestMACBatchPackageDefault checks SetDefaultLanes steers engines that
+// did not pin a width, without touching engines that did.
+func TestMACBatchPackageDefault(t *testing.T) {
+	e, err := NewEngine([]byte("lanes default key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer SetDefaultLanes(0)
+	SetDefaultLanes(4)
+	if got := e.laneWidth(); got != 4 {
+		t.Fatalf("default lanes 4: engine resolved width %d", got)
+	}
+	e.SetLanes(1)
+	if got := e.laneWidth(); got != 1 {
+		t.Fatalf("pinned scalar under default 4: engine resolved width %d", got)
+	}
+	reqs, tags := makeBatch(6, []byte("default-path"))
+	e.SetLanes(0)
+	e.MACBatch(reqs)
+	for i := range reqs {
+		want := e.MACReference(reqs[i].CT, reqs[i].Addr, reqs[i].Ctr)
+		if *tags[i] != want {
+			t.Fatalf("package-default lane path: tag %d differs from reference", i)
+		}
+	}
+}
+
+// TestCloneSharesKeyMaterial checks a clone computes identical digests
+// and pads, and that interleaving parent and clone use never corrupts
+// either's scratch.
+func TestCloneSharesKeyMaterial(t *testing.T) {
+	e, err := NewEngine([]byte("clone key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Clone()
+	var ct [CacheLineSize]byte
+	copy(ct[:], "interleaved clone use")
+	for i := 0; i < 8; i++ {
+		addr, ctr := uint64(i)<<6, uint64(i)
+		if e.MAC(&ct, addr, ctr) != c.MAC(&ct, addr, ctr) {
+			t.Fatalf("clone MAC differs at %d", i)
+		}
+		if e.OTP(addr, ctr) != c.OTP(addr, ctr) {
+			t.Fatalf("clone OTP differs at %d", i)
+		}
+		if e.HashNode(ct[:]) != c.HashNode(ct[:]) {
+			t.Fatalf("clone HashNode differs at %d", i)
+		}
+	}
+	if h, ok := e.CloneHasher().(*Engine); !ok || h == e {
+		t.Fatal("CloneHasher must return a fresh *Engine")
+	}
+}
+
+// FuzzMACLanesVsScalar differentially fuzzes the interleaved lane MACs
+// against the scalar fast path and the hand-rolled reference: same
+// requests, three implementations, all tags equal.
+func FuzzMACLanesVsScalar(f *testing.F) {
+	f.Add(4, []byte("seed"))
+	f.Add(0, []byte{})
+	f.Add(1, []byte{0xff})
+	f.Add(2, []byte("two-lane remainder"))
+	f.Add(9, []byte("four plus four plus one"))
+	f.Add(16, make([]byte, 80))
+	f.Fuzz(func(t *testing.T, n int, seed []byte) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 32
+		e, err := NewEngine([]byte("fuzz lanes key"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, width := range []int{1, 2, 4} {
+			reqs, tags := makeBatch(n, seed)
+			e.SetLanes(width)
+			e.MACBatch(reqs)
+			for i := range reqs {
+				scalar := e.MAC(reqs[i].CT, reqs[i].Addr, reqs[i].Ctr)
+				ref := e.MACReference(reqs[i].CT, reqs[i].Addr, reqs[i].Ctr)
+				if *tags[i] != scalar || *tags[i] != ref {
+					t.Fatalf("width %d, batch %d: lane tag %d diverges (scalar match %v, reference match %v)",
+						width, n, i, *tags[i] == scalar, *tags[i] == ref)
+				}
+			}
+		}
+	})
+}

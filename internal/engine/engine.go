@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"secpb/internal/addr"
@@ -81,6 +82,12 @@ type Engine struct {
 	pbServedLoads uint64
 	integrityErr  error
 	fracCPI       float64 // fractional cycle accumulator
+	// cpiTab[n] = float64(n) * prof.NonMemCPI for small instruction
+	// counts, precomputed so advance skips the int→float convert and
+	// multiply on the per-op path. The products are the same IEEE
+	// operations advance used to perform, so the accumulator trajectory
+	// (and every derived cycle count) is bit-identical.
+	cpiTab [64]float64
 }
 
 // New builds an engine for the given configuration and workload profile.
@@ -104,6 +111,9 @@ func New(cfg config.Config, prof workload.Profile, key []byte) (*Engine, error) 
 		sb:      mem.NewStoreBuffer(cfg.StoreBufferCap),
 		memory:  ptable.New[[addr.BlockBytes]byte](),
 		gapHist: stats.NewHistogram(256, 512),
+	}
+	for n := range e.cpiTab {
+		e.cpiTab[n] = float64(n) * prof.NonMemCPI
 	}
 	if cfg.Scheme != config.SchemeSP {
 		spb, err := core.New(cfg, mc)
@@ -167,7 +177,11 @@ func (e *Engine) SetCrashSink(s crashpoint.Sink) {
 func (e *Engine) advance(gap uint32) {
 	n := uint64(gap) + 1
 	e.instrs += n
-	e.fracCPI += float64(n) * e.prof.NonMemCPI
+	if n < uint64(len(e.cpiTab)) {
+		e.fracCPI += e.cpiTab[n]
+	} else {
+		e.fracCPI += float64(n) * e.prof.NonMemCPI
+	}
 	whole := uint64(e.fracCPI)
 	e.fracCPI -= float64(whole)
 	e.now += whole
@@ -226,18 +240,42 @@ func (e *Engine) Run(src trace.Source) error {
 
 // RunBatch drains a batched source: ops arrive in columnar chunks, each
 // validated once up front and replayed with no per-op interface
-// dispatch.
+// dispatch. The replay is double-buffered: while the current batch
+// replays, a worker goroutine derives the one-time pads the next
+// batch's store blocks are predicted to need (counter-mode pads depend
+// only on the address/counter pair, so they can be computed off the
+// critical path) on a cloned crypto engine. Predicted pads are
+// installed in the controller's prefetch table after the join; wrong
+// predictions are dropped at consumption time, so the pipeline changes
+// wall-clock only, never results.
 func (e *Engine) RunBatch(src trace.BatchSource) error {
-	b := trace.NewBatch(trace.DefaultBatchCap)
-	for src.NextBatch(b) {
-		if err := b.Validate(); err != nil {
+	cur := trace.NewBatch(trace.DefaultBatchCap)
+	if !src.NextBatch(cur) {
+		return e.finishRun()
+	}
+	next := trace.NewBatch(trace.DefaultBatchCap)
+	pf := e.newOTPPrefetcher()
+	for {
+		if err := cur.Validate(); err != nil {
 			return err
 		}
-		for i, n := 0, b.Len(); i < n; i++ {
-			if err := e.step(b.Op(i)); err != nil {
+		more := src.NextBatch(next)
+		if more && pf != nil {
+			pf.launch(next)
+		}
+		for i, n := 0, cur.Len(); i < n; i++ {
+			if err := e.step(cur.Op(i)); err != nil {
+				pf.drain()
 				return err
 			}
 		}
+		if more && pf != nil {
+			pf.install(e.mc)
+		}
+		if !more {
+			break
+		}
+		cur, next = next, cur
 	}
 	return e.finishRun()
 }
@@ -245,12 +283,13 @@ func (e *Engine) RunBatch(src trace.BatchSource) error {
 // finishRun closes the region of interest. Execution time includes
 // draining the core's store buffer (the last store must be persistently
 // accepted) but not the PB drain, which proceeds in the background;
-// staged BMT walks are committed so post-run inspection starts from a
-// settled tree.
+// deferred drain tuples and staged BMT walks are committed so post-run
+// inspection starts from a settled controller.
 func (e *Engine) finishRun() error {
 	if d := e.sb.DrainedBy(); d > e.now {
 		e.now = d
 	}
+	e.mc.FlushStaged()
 	e.mc.CompleteSweep()
 	return nil
 }
@@ -304,10 +343,15 @@ func (e *Engine) doStore(op trace.Op) error {
 	block := addr.BlockOf(op.Addr)
 	off := int(op.Addr - block.Addr())
 
-	// Functional: update the program view in place.
+	// Functional: update the program view in place (whole-word stores,
+	// the common case, skip the byte loop).
 	blk, _ := e.memory.GetOrCreate(block.Index())
-	for i := 0; i < int(op.Size); i++ {
-		blk[off+i] = byte(op.Data >> (8 * i))
+	if op.Size == 8 {
+		binary.LittleEndian.PutUint64(blk[off:off+8], op.Data)
+	} else {
+		for i := 0; i < int(op.Size); i++ {
+			blk[off+i] = byte(op.Data >> (8 * i))
+		}
 	}
 
 	// Timing+state: L1D write in parallel with PB acceptance.
@@ -326,10 +370,11 @@ func (e *Engine) doStore(op trace.Op) error {
 	// Retire completed drains.
 	e.reapDrains(e.now)
 
-	needAlloc := e.spb.Lookup(block) == nil
 	accStart := max(e.now, e.pbPortFree)
 
-	if needAlloc && e.virtualOcc >= e.cfg.SecPBEntries {
+	// Backflow test: the Lookup only matters when occupancy is at the
+	// limit, so check the cheap counter first.
+	if e.virtualOcc >= e.cfg.SecPBEntries && e.spb.Lookup(block) == nil {
 		// Backflow: the SecPB is full including in-flight drains; the
 		// store waits for the oldest drain to complete (draining is
 		// already in progress by watermark, but force one if not).
@@ -474,6 +519,7 @@ func (e *Engine) scheduleDrain(at uint64) error {
 	if e.drainFree > entry.AllocCycle {
 		e.gapHist.Add(e.drainFree - entry.AllocCycle)
 	}
+	e.spb.Recycle(entry)
 	return nil
 }
 

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"runtime"
+
+	"secpb/internal/addr"
+	"secpb/internal/crypto"
+	"secpb/internal/meta"
+	"secpb/internal/nvm"
+	"secpb/internal/trace"
+)
+
+// otpPrefetchCap bounds the unique store blocks predicted per batch: a
+// 4096-op batch over a hot working set rarely touches more, and the cap
+// bounds both the worker's latency and the pad buffer (512 × 64 B).
+const otpPrefetchCap = 512
+
+// otpPrefetcher overlaps one-time-pad derivation for the next batch's
+// predicted drains with the current batch's replay. The main loop owns
+// the prediction snapshot (counter reads must not race the replay's
+// increments, so they happen serially at launch); the worker owns a
+// cloned crypto engine and the pad buffer until the join. Pads are pure
+// functions of the (address, counter) pair, and the controller drops
+// mispredicted installs at consumption, so the pipeline can only move
+// work off the critical path — it can never change a result.
+type otpPrefetcher struct {
+	eng     *crypto.Engine // worker-private clone
+	ctrs    *meta.CounterStore
+	blocks  []addr.Block
+	preds   []uint64
+	pads    [][addr.BlockBytes]byte
+	seen    map[addr.Block]struct{}
+	done    chan struct{}
+	running bool
+}
+
+// newOTPPrefetcher returns a pipeline for this engine, or nil when the
+// pipeline cannot help or must not run: single-proc hosts (the replay
+// loop and the worker would just timeslice), insecure schemes (no
+// pads), and crash-injected runs (kept on the exact serial path the
+// injector's determinism contract is stated over).
+func (e *Engine) newOTPPrefetcher() *otpPrefetcher {
+	if runtime.GOMAXPROCS(0) < 2 || !e.mc.Secure() || e.sink != nil {
+		return nil
+	}
+	return &otpPrefetcher{
+		eng:    e.mc.Engine().Clone(),
+		ctrs:   e.mc.Counters(),
+		blocks: make([]addr.Block, 0, otpPrefetchCap),
+		preds:  make([]uint64, 0, otpPrefetchCap),
+		pads:   make([][addr.BlockBytes]byte, otpPrefetchCap),
+		seen:   make(map[addr.Block]struct{}, otpPrefetchCap),
+		done:   make(chan struct{}),
+	}
+}
+
+// launch snapshots the next batch's predicted (block, counter) drains
+// and starts the pad worker. The counter snapshot runs on the caller's
+// goroutine — predictions for blocks the current batch also drains go
+// stale and simply miss.
+func (p *otpPrefetcher) launch(b *trace.Batch) {
+	p.drain()
+	p.blocks = p.blocks[:0]
+	p.preds = p.preds[:0]
+	clear(p.seen)
+	for i, k := range b.Kinds {
+		if k != trace.Store {
+			continue
+		}
+		blk := addr.BlockOf(b.Addrs[i])
+		if _, dup := p.seen[blk]; dup {
+			continue
+		}
+		if len(p.blocks) >= otpPrefetchCap {
+			break
+		}
+		p.seen[blk] = struct{}{}
+		p.blocks = append(p.blocks, blk)
+		p.preds = append(p.preds, p.ctrs.Value(blk)+1)
+	}
+	if len(p.blocks) == 0 {
+		return
+	}
+	p.running = true
+	go func() {
+		for i, blk := range p.blocks {
+			p.eng.OTPInto(&p.pads[i], blk.Addr(), p.preds[i])
+		}
+		p.done <- struct{}{}
+	}()
+}
+
+// install joins the worker and deposits its pads in the controller's
+// prefetch table. It must run before the predicted batch replays.
+func (p *otpPrefetcher) install(mc *nvm.Controller) {
+	if !p.running {
+		return
+	}
+	<-p.done
+	p.running = false
+	for i, blk := range p.blocks {
+		mc.InstallPrefetchedOTP(blk, p.preds[i], &p.pads[i])
+	}
+}
+
+// drain joins a running worker without installing anything (error
+// paths). Safe on a nil prefetcher.
+func (p *otpPrefetcher) drain() {
+	if p == nil || !p.running {
+		return
+	}
+	<-p.done
+	p.running = false
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+
+	"secpb/internal/bmt"
+	"secpb/internal/crypto"
+)
+
+// TestArtifactIdentityParallelSweep pins the paper artifacts across the
+// parallel data plane's tuning space: the rendered Table IV and
+// Figure 6 must be byte-identical whether the BMT sweep runs serially
+// or partitioned over 4 or 8 workers, and whether MACs hash on the
+// scalar fast path or the interleaved lanes. GOMAXPROCS is forced to 2
+// so the parallel paths actually engage on single-CPU CI hosts.
+func TestArtifactIdentityParallelSweep(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	defer bmt.SetDefaultSweepWorkers(0)
+	defer crypto.SetDefaultLanes(0)
+
+	o := DefaultOptions()
+	o.Ops = 4000
+	o.Benchmarks = []string{"gamess", "mcf"}
+	o.Parallelism = 1
+
+	render := func(sweepWorkers, lanes int) string {
+		bmt.SetDefaultSweepWorkers(sweepWorkers)
+		crypto.SetDefaultLanes(lanes)
+		_, tab, err := Table4(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bars, err := Figure6(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String() + "\n" + bars.String()
+	}
+
+	base := render(1, 1) // fully serial, scalar hashing
+	for _, w := range []int{4, 8} {
+		if got := render(w, 0); got != base {
+			t.Errorf("artifacts differ with %d sweep workers (auto lanes):\nserial:\n%s\nparallel:\n%s", w, base, got)
+		}
+	}
+	for _, lanes := range []int{2, 4} {
+		if got := render(1, lanes); got != base {
+			t.Errorf("artifacts differ with %d MAC lanes:\nscalar:\n%s\nlanes:\n%s", lanes, base, got)
+		}
+	}
+	if got := render(8, 4); got != base {
+		t.Error("artifacts differ with sweep workers 8 + 4 MAC lanes vs fully serial")
+	}
+}

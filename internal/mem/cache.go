@@ -32,6 +32,12 @@ type line struct {
 	used  uint64 // LRU timestamp
 }
 
+// badTag fills the tag of invalid lines. Real tags are block-aligned
+// addresses, so the all-ones pattern can never match and the hot way
+// scans need a single compare instead of a state check plus a tag
+// check. Invariant: state == invalid ⟺ tag == badTag.
+const badTag = ^uint64(0)
+
 // Cache is a set-associative cache with true-LRU replacement.
 type Cache struct {
 	name      string
@@ -54,12 +60,16 @@ func NewCache(name string, cfg config.CacheConfig) *Cache {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("mem: cache %s has invalid set count %d", name, sets))
 	}
+	lines := make([]line, sets*cfg.Ways)
+	for i := range lines {
+		lines[i].tag = badTag
+	}
 	return &Cache{
 		name:     name,
 		setMask:  uint64(sets - 1),
 		setShift: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
 		ways:     cfg.Ways,
-		sets:     make([]line, sets*cfg.Ways),
+		sets:     lines,
 		latency:  cfg.AccessCycles,
 	}
 }
@@ -77,9 +87,9 @@ func (c *Cache) set(blockAddr uint64) []line {
 
 // Lookup reports whether the block is resident, without changing state.
 func (c *Cache) Lookup(blockAddr uint64) bool {
-	for i := range c.set(blockAddr) {
-		l := &c.set(blockAddr)[i]
-		if l.state != invalid && l.tag == blockAddr {
+	set := c.set(blockAddr)
+	for i := range set {
+		if set[i].tag == blockAddr {
 			return true
 		}
 	}
@@ -93,7 +103,7 @@ func (c *Cache) Access(blockAddr uint64, write, persist bool) bool {
 	set := c.set(blockAddr)
 	for i := range set {
 		l := &set[i]
-		if l.state != invalid && l.tag == blockAddr {
+		if l.tag == blockAddr {
 			c.hits++
 			l.used = c.clock
 			if write {
@@ -169,9 +179,10 @@ func (c *Cache) Invalidate(blockAddr uint64) (wasDirty bool) {
 	set := c.set(blockAddr)
 	for i := range set {
 		l := &set[i]
-		if l.state != invalid && l.tag == blockAddr {
+		if l.tag == blockAddr {
 			wasDirty = l.state == dirty
 			l.state = invalid
+			l.tag = badTag
 			return wasDirty
 		}
 	}

@@ -119,9 +119,13 @@ func NewStoreBuffer(capacity int) *StoreBuffer {
 // actually proceed: `now` if the buffer has room, otherwise the time the
 // oldest entry retires.
 func (sb *StoreBuffer) Push(now, acceptDone uint64) uint64 {
-	// Retire all entries already accepted by `now`.
+	// Retire all entries already accepted by `now`. Wrap with a compare
+	// instead of a modulo: the capacity is not a power of two, so the %
+	// compiled to a divide on what is a once-per-store path.
 	for sb.count > 0 && sb.done[sb.head] <= now {
-		sb.head = (sb.head + 1) % len(sb.done)
+		if sb.head++; sb.head == len(sb.done) {
+			sb.head = 0
+		}
 		sb.count--
 	}
 	proceed := now
@@ -129,11 +133,15 @@ func (sb *StoreBuffer) Push(now, acceptDone uint64) uint64 {
 		// Full: wait for the oldest acceptance.
 		proceed = sb.done[sb.head]
 		sb.stall += proceed - now
-		sb.head = (sb.head + 1) % len(sb.done)
+		if sb.head++; sb.head == len(sb.done) {
+			sb.head = 0
+		}
 		sb.count--
 	}
 	sb.done[sb.tail] = acceptDone
-	sb.tail = (sb.tail + 1) % len(sb.done)
+	if sb.tail++; sb.tail == len(sb.done) {
+		sb.tail = 0
+	}
 	sb.count++
 	return proceed
 }

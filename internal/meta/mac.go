@@ -27,6 +27,14 @@ func (ms *MACStore) Put(b addr.Block, tag [crypto.MACSize]byte) {
 	ms.tags.Put(b.Index(), tag)
 }
 
+// PutSlot returns the block's tag cell (creating it), so a batched MAC
+// computation can write the tag in place instead of through a 64-byte
+// value copy. The pointer stays valid for the store's lifetime.
+func (ms *MACStore) PutSlot(b addr.Block) *[crypto.MACSize]byte {
+	t, _ := ms.tags.GetOrCreate(b.Index())
+	return t
+}
+
 // Get returns the stored tag; ok is false if the block was never MAC'd.
 func (ms *MACStore) Get(b addr.Block) (tag [crypto.MACSize]byte, ok bool) {
 	if t := ms.tags.Lookup(b.Index()); t != nil {

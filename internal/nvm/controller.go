@@ -11,6 +11,7 @@ import (
 	"secpb/internal/fault"
 	"secpb/internal/mem"
 	"secpb/internal/meta"
+	"secpb/internal/ptable"
 )
 
 // Cost reports the micro-events one controller operation generated. The
@@ -107,6 +108,47 @@ type Controller struct {
 	lineBuf [meta.LineBytesLen]byte
 	pathIDs []uint64
 	otpBuf  [addr.BlockBytes]byte
+
+	// Deferred drain-tuple materialization (see stageTuple/flushStaged):
+	// staged tuples in insertion order, the block→slot index (slot+1;
+	// zero means unstaged), and the reusable MAC-batch request scratch.
+	staged          []stagedTuple
+	stagedIx        *ptable.Table[int32]
+	macReqs         []crypto.MACRequest
+	stagedFlushes   uint64
+	stagedCoalesced uint64
+
+	// otpPre holds pads speculatively derived for predicted (block,
+	// counter) pairs by the engine's batch pipeline, consumed (or
+	// invalidated) on the next pad generation for the block.
+	otpPre       *ptable.Table[otpPrefetch]
+	preInstalled uint64
+	preHits      uint64
+}
+
+// stagedTuple is one drain whose physical materialization is deferred:
+// the PM cell is already allocated and all costs, caches and queues are
+// charged, but the cell holds plaintext until flush derives the pad
+// (needOTP) and the MAC store's tag cell is filled by the flush's
+// batched hash pass (needMAC).
+type stagedTuple struct {
+	block   addr.Block
+	cell    *[addr.BlockBytes]byte
+	ctr     uint64
+	needOTP bool
+	needMAC bool
+}
+
+// maxStagedTuples bounds the staged set; reaching the bound flushes
+// before staging continues. Re-drains of an already-staged block
+// coalesce into their slot, so the bound is on distinct dirty blocks.
+const maxStagedTuples = 4096
+
+// otpPrefetch is one speculatively derived pad awaiting its drain.
+type otpPrefetch struct {
+	ctr   uint64
+	pad   [addr.BlockBytes]byte
+	valid bool
 }
 
 // NewController builds the controller for the given configuration. The
@@ -135,6 +177,7 @@ func NewController(cfg config.Config, key []byte) (*Controller, error) {
 	c.tree = tree
 	c.ctrs = meta.NewCounterStore()
 	c.macs = meta.NewMACStore()
+	c.stagedIx = ptable.New[int32]()
 	c.initVolatile()
 	return c, nil
 }
@@ -216,14 +259,21 @@ func Restore(cfg config.Config, key []byte, pm *PM, ctrs *meta.CounterStore, mac
 		ctrs:   ctrs,
 		macs:   macs,
 	}
+	c.stagedIx = ptable.New[int32]()
 	c.armFault()
 	c.initVolatile()
 	return c, nil
 }
 
 // SetCrashSink installs (or, with nil, removes) the crash-injection sink
-// receiving the controller's drain-pipeline crash points.
-func (c *Controller) SetCrashSink(s crashpoint.Sink) { c.sink = s }
+// receiving the controller's drain-pipeline crash points. Any staged
+// drain tuples are materialized first: crash injection requires the
+// fully-eager pipeline, and the switchover must not leave deferred work
+// behind.
+func (c *Controller) SetCrashSink(s crashpoint.Sink) {
+	c.flushStaged()
+	c.sink = s
+}
 
 // Secure reports whether the controller runs the secure data path.
 func (c *Controller) Secure() bool { return c.secure }
@@ -231,14 +281,24 @@ func (c *Controller) Secure() bool { return c.secure }
 // Config returns the configuration the controller was built with.
 func (c *Controller) Config() config.Config { return c.cfg }
 
-// PM returns the device model.
-func (c *Controller) PM() *PM { return c.pm }
+// PM returns the device model. Staged drain tuples are materialized
+// first, so every observation of device state sees the same image the
+// eager pipeline would have produced.
+func (c *Controller) PM() *PM {
+	c.flushStaged()
+	return c.pm
+}
 
 // Counters returns the storage-counter store (nil when insecure).
+// Counters advance eagerly at drain time, so no flush is needed.
 func (c *Controller) Counters() *meta.CounterStore { return c.ctrs }
 
-// MACs returns the MAC store (nil when insecure).
-func (c *Controller) MACs() *meta.MACStore { return c.macs }
+// MACs returns the MAC store (nil when insecure). Staged drain tuples
+// are materialized first (their tags are computed by the flush).
+func (c *Controller) MACs() *meta.MACStore {
+	c.flushStaged()
+	return c.macs
+}
 
 // Tree returns the BMT (nil when insecure).
 func (c *Controller) Tree() *bmt.Tree { return c.tree }
@@ -356,8 +416,10 @@ func (c *Controller) MakeOTP(b addr.Block, counter uint64) ([addr.BlockBytes]byt
 
 // MakeOTPInto is MakeOTP writing the pad directly into dst (hot-path
 // form for per-entry early OTP generation into a SecPB entry field).
+// A matching prefetched pad is consumed instead of rederived; the
+// charged cost is identical either way.
 func (c *Controller) MakeOTPInto(dst *[addr.BlockBytes]byte, b addr.Block, counter uint64) Cost {
-	c.eng.OTPInto(dst, b.Addr(), counter)
+	c.otpIntoPrefetched(dst, b, counter)
 	return Cost{AESOps: 1}
 }
 
@@ -468,6 +530,17 @@ func (c *Controller) PersistBlock(b addr.Block, plain *[addr.BlockBytes]byte, pr
 		c.sink.CrashPoint(crashpoint.CounterPersist, b)
 	}
 
+	if c.canStage() {
+		c.stageTuple(b, plain, prep, newCtr, &cost)
+		if prep.BMTDone {
+			c.ctrs.Line(b.CounterLine()).PutBytes(c.lineBuf[:])
+			c.tree.Update(b.CounterLine(), c.lineBuf[:])
+		} else {
+			cost.Add(c.walkBMT(b, true))
+		}
+		return cost, nil
+	}
+
 	// OTP and ciphertext.
 	var ct [addr.BlockBytes]byte
 	switch {
@@ -515,12 +588,158 @@ func (c *Controller) PersistBlock(b addr.Block, plain *[addr.BlockBytes]byte, pr
 	return cost, nil
 }
 
+// canStage reports whether drain-tuple materialization may defer: only
+// on the fast path — no crash sink (crash snapshots must observe the
+// exact eager pipeline state), perfect media (the fault model's
+// write/verify stream is per-write), and outside a page re-encryption.
+func (c *Controller) canStage() bool {
+	return c.sink == nil && !c.inReencrypt && !c.pm.Faulty()
+}
+
+// stageTuple is the deferred form of the eager OTP/cipher/MAC sections
+// of PersistBlock. Everything the rest of the simulator can observe
+// mid-run is done now, identically to the eager path: the Cost events
+// (AESOps, Hashes, PMDataWrites), the WPQ accept/retire stream, the
+// device write counter, the MAC-cache touch, and (when prepared) the
+// final MAC value. Only the pad derivation, the XOR, and the MAC hash
+// move to flushStaged — and a later drain of the same block before the
+// flush overwrites the slot, which is where the win comes from: at
+// steady state a hot working set re-drains into its staged slots and
+// the physical hashing coalesces to once per flush epoch instead of
+// once per drain. Every observation of PM or MAC state flushes first,
+// so results are byte-identical to the eager pipeline.
+func (c *Controller) stageTuple(b addr.Block, plain *[addr.BlockBytes]byte, prep *PreparedMeta, newCtr uint64, cost *Cost) {
+	slot, _ := c.stagedIx.GetOrCreate(b.Index())
+	var t *stagedTuple
+	if *slot > 0 {
+		t = &c.staged[*slot-1]
+		c.stagedCoalesced++
+		c.pm.StageBlock(b) // re-drain writes the device again
+	} else {
+		if len(c.staged) >= maxStagedTuples {
+			c.flushStaged()
+			slot, _ = c.stagedIx.GetOrCreate(b.Index())
+		}
+		c.staged = append(c.staged, stagedTuple{block: b, cell: c.pm.StageBlock(b)})
+		t = &c.staged[len(c.staged)-1]
+		*slot = int32(len(c.staged))
+	}
+	c.wpq.Accept()
+	if c.wpq.Occupancy() > c.wpq.Capacity()/2 {
+		c.wpq.Retire(1)
+	}
+	t.ctr = newCtr
+	switch {
+	case prep.CipherDone:
+		*t.cell = prep.Cipher
+		t.needOTP = false
+	case prep.OTPDone:
+		crypto.XOR(t.cell, plain, &prep.OTP)
+		t.needOTP = false
+	default:
+		*t.cell = *plain
+		t.needOTP = true
+		cost.AESOps++
+	}
+	cost.PMDataWrites++
+	if prep.MACDone {
+		t.needMAC = false
+		c.macs.Put(b, prep.MAC)
+	} else {
+		t.needMAC = true
+		cost.Hashes++
+	}
+	cost.Add(c.touchMACCache(b, true))
+}
+
+// flushStaged materializes every staged drain tuple, in insertion
+// order: derive the pad (or consume a prefetched one) and encrypt the
+// cell in place, then compute all outstanding MACs in one batched pass
+// straight into the MAC store's tag cells. No Cost events are charged
+// here — stageTuple charged them at drain time.
+func (c *Controller) flushStaged() {
+	if len(c.staged) == 0 {
+		return
+	}
+	c.stagedFlushes++
+	reqs := c.macReqs[:0]
+	for i := range c.staged {
+		t := &c.staged[i]
+		if t.needOTP {
+			c.otpIntoPrefetched(&c.otpBuf, t.block, t.ctr)
+			crypto.XOR(t.cell, t.cell, &c.otpBuf)
+		}
+		if t.needMAC {
+			reqs = append(reqs, crypto.MACRequest{
+				Tag: c.macs.PutSlot(t.block), CT: t.cell,
+				Addr: t.block.Addr(), Ctr: t.ctr,
+			})
+		}
+		*c.stagedIx.Lookup(t.block.Index()) = 0
+	}
+	c.eng.MACBatch(reqs)
+	c.macReqs = reqs[:0]
+	c.staged = c.staged[:0]
+}
+
+// FlushStaged materializes all deferred drain tuples. The engine calls
+// it at end-of-run; any observation of PM or MAC state flushes
+// implicitly, so forgetting a call can never change results.
+func (c *Controller) FlushStaged() { c.flushStaged() }
+
+// StagedStats returns (flush epochs, re-drains coalesced into an
+// existing staged slot).
+func (c *Controller) StagedStats() (flushes, coalesced uint64) {
+	return c.stagedFlushes, c.stagedCoalesced
+}
+
+// otpIntoPrefetched derives the pad for (b, ctr), consuming a matching
+// prefetched pad when one is present. Pads are pure functions of the
+// (address, counter) pair, so a hit changes wall-clock only, never the
+// pad; the caller charges the same one-AESOp cost either way. A staled
+// prefetch (counter moved past the prediction) is dropped.
+func (c *Controller) otpIntoPrefetched(dst *[addr.BlockBytes]byte, b addr.Block, ctr uint64) {
+	if c.otpPre != nil {
+		if p := c.otpPre.Lookup(b.Index()); p != nil && p.valid {
+			p.valid = false
+			if p.ctr == ctr {
+				*dst = p.pad
+				c.preHits++
+				return
+			}
+		}
+	}
+	c.eng.OTPInto(dst, b.Addr(), ctr)
+}
+
+// InstallPrefetchedOTP deposits a speculatively derived pad for the
+// predicted (b, ctr) drain. The engine's batch pipeline derives pads
+// for the next batch's write set on a worker while the current batch
+// drains; a wrong prediction is dropped at consumption time.
+func (c *Controller) InstallPrefetchedOTP(b addr.Block, ctr uint64, pad *[addr.BlockBytes]byte) {
+	if !c.secure {
+		return
+	}
+	if c.otpPre == nil {
+		c.otpPre = ptable.New[otpPrefetch]()
+	}
+	p, _ := c.otpPre.GetOrCreate(b.Index())
+	p.ctr, p.pad, p.valid = ctr, *pad, true
+	c.preInstalled++
+}
+
+// OTPPrefetchStats returns (pads installed, pads consumed).
+func (c *Controller) OTPPrefetchStats() (installed, hits uint64) {
+	return c.preInstalled, c.preHits
+}
+
 // reencryptPage re-encrypts every resident block of b's page: decrypt
 // each under its current storage counter, reset happens in the caller's
 // Increment, then re-encrypt under the new counters. Counter-mode pads
 // die with their counter, so this is mandatory on overflow; the paper
 // notes counter coalescing delays it.
 func (c *Controller) reencryptPage(b addr.Block) (Cost, error) {
+	c.flushStaged() // reads the page's resident ciphertext
 	c.reencrypts++
 	// A page re-encryption's intermediate plaintexts exist only in MC
 	// latches; the battery completes it atomically, so no crash point
@@ -585,6 +804,7 @@ func (c *Controller) reencryptPage(b addr.Block) (Cost, error) {
 // stale — in a healthy run it never fires, and the attack experiments
 // assert that tampering makes it fire.
 func (c *Controller) FetchBlock(b addr.Block) ([addr.BlockBytes]byte, Cost, error) {
+	c.flushStaged()
 	if _, written := c.pm.Peek(b); !written {
 		// Fresh media: never-written blocks read as zeros and carry no
 		// tuple yet (memory is initialized lazily on first persist).

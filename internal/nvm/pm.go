@@ -81,6 +81,17 @@ func (p *PM) Write(b addr.Block, data [addr.BlockBytes]byte) {
 	p.writes++
 }
 
+// StageBlock returns the device cell for b (creating it) and counts one
+// write, without storing content — the zero-copy form of Write: the
+// caller fills the cell in place. The pointer stays valid for the
+// device's lifetime. Only the controller's staged-drain path (which
+// guarantees the cell is materialized before any observation) uses it.
+func (p *PM) StageBlock(b addr.Block) *[addr.BlockBytes]byte {
+	blk, _ := p.data.GetOrCreate(b.Index())
+	p.writes++
+	return blk
+}
+
 // WriteAttempt stores a block through the fault model: the write may
 // complete, silently fail (old contents remain), or tear after a prefix
 // of the line. Callers pairing it with VerifyWrite implement the

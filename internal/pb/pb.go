@@ -10,6 +10,7 @@
 package pb
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -41,15 +42,28 @@ type Entry[E any] struct {
 // Buffer is a coalescing persist buffer with watermark-based draining.
 type Buffer[E any] struct {
 	capacity int
-	hi, lo   int          // watermark entry counts
-	idx      index[E]     // block → resident entry
-	fifo     []addr.Block // allocation order (oldest first)
+	hi, lo   int      // watermark entry counts
+	idx      index[E] // block → resident entry
+	// fifo holds allocation order (oldest first) from fifoHead onward;
+	// the consumed prefix is compacted away periodically so the slice
+	// reuses its capacity at steady state instead of growing (and
+	// triggering GC) once per drain.
+	fifo     []addr.Block
+	fifoHead int
 	seq      uint64
 
-	allocs    uint64
-	writes    uint64
-	drains    uint64
-	writeHist []uint64 // writes-per-entry samples at drain (NWPE)
+	// free recycles drained entries the owner explicitly Released:
+	// allocation churn (one ~400-byte entry per drain at steady state)
+	// was the engine store path's last per-op heap traffic.
+	free []*Entry[E]
+
+	allocs uint64
+	writes uint64
+	drains uint64
+	// Writes-per-drained-entry accumulators (NWPE). The per-drain sample
+	// list this replaces grew without bound and was only ever averaged.
+	drainWriteSum uint64
+	drainWriteCnt uint64
 }
 
 // index is the buffer's block→entry lookup structure: a fixed-size
@@ -226,18 +240,27 @@ func (b *Buffer[E]) WriteInit(asid uint16, block addr.Block, off, size int, val 
 		if b.Full() {
 			return nil, false, ErrFull
 		}
-		e = &Entry[E]{Block: block, Seq: b.seq, ASID: asid}
+		if n := len(b.free); n > 0 {
+			e, b.free = b.free[n-1], b.free[:n-1]
+			e.Block, e.Seq, e.ASID = block, b.seq, asid
+		} else {
+			e = &Entry[E]{Block: block, Seq: b.seq, ASID: asid}
+		}
 		if init != nil {
 			e.Data = *init
 		}
 		b.seq++
 		b.idx.put(block, e)
-		b.fifo = append(b.fifo, block)
+		b.fifoPush(block)
 		b.allocs++
 		allocated = true
 	}
-	for i := 0; i < size; i++ {
-		e.Data[off+i] = byte(val >> (8 * i))
+	if size == 8 {
+		binary.LittleEndian.PutUint64(e.Data[off:off+8], val)
+	} else {
+		for i := 0; i < size; i++ {
+			e.Data[off+i] = byte(val >> (8 * i))
+		}
 	}
 	e.Writes++
 	b.writes++
@@ -259,24 +282,45 @@ func (b *Buffer[E]) Insert(e *Entry[E]) error {
 	e.Seq = b.seq
 	b.seq++
 	b.idx.put(e.Block, e)
-	b.fifo = append(b.fifo, e.Block)
+	b.fifoPush(e.Block)
 	b.allocs++
 	return nil
 }
 
+// fifoPush appends a block to the allocation-order queue, compacting the
+// consumed prefix first once it dominates the slice. Amortized O(1) with
+// a bounded footprint: at steady state the same backing array is reused
+// forever.
+func (b *Buffer[E]) fifoPush(block addr.Block) {
+	if b.fifoHead > 0 && b.fifoHead*2 >= len(b.fifo) {
+		n := copy(b.fifo, b.fifo[b.fifoHead:])
+		b.fifo = b.fifo[:n]
+		b.fifoHead = 0
+	}
+	b.fifo = append(b.fifo, block)
+}
+
+// recordDrain accumulates the NWPE sample for a removed entry.
+func (b *Buffer[E]) recordDrain(e *Entry[E]) {
+	b.drains++
+	b.drainWriteSum += uint64(e.Writes)
+	b.drainWriteCnt++
+}
+
 // DrainOldest removes and returns the oldest entry, or nil if empty.
 func (b *Buffer[E]) DrainOldest() *Entry[E] {
-	for len(b.fifo) > 0 {
-		block := b.fifo[0]
-		b.fifo = b.fifo[1:]
+	for b.fifoHead < len(b.fifo) {
+		block := b.fifo[b.fifoHead]
+		b.fifoHead++
 		e := b.idx.del(block)
 		if e == nil {
 			continue // already removed (flush/invalidate)
 		}
-		b.drains++
-		b.writeHist = append(b.writeHist, uint64(e.Writes))
+		b.recordDrain(e)
 		return e
 	}
+	b.fifo = b.fifo[:0]
+	b.fifoHead = 0
 	return nil
 }
 
@@ -285,14 +329,13 @@ func (b *Buffer[E]) DrainOldest() *Entry[E] {
 // the drain-process policy drains one process's entries in allocation
 // order without disturbing other processes' coalescing.
 func (b *Buffer[E]) DrainOldestWhere(pred func(*Entry[E]) bool) *Entry[E] {
-	for _, block := range b.fifo {
+	for _, block := range b.fifo[b.fifoHead:] {
 		e := b.idx.get(block)
 		if e == nil || !pred(e) {
 			continue
 		}
 		b.idx.del(block)
-		b.drains++
-		b.writeHist = append(b.writeHist, uint64(e.Writes))
+		b.recordDrain(e)
 		return e
 	}
 	return nil
@@ -306,8 +349,7 @@ func (b *Buffer[E]) Remove(block addr.Block) *Entry[E] {
 	if e == nil {
 		return nil
 	}
-	b.drains++
-	b.writeHist = append(b.writeHist, uint64(e.Writes))
+	b.recordDrain(e)
 	return e
 }
 
@@ -319,7 +361,7 @@ func (b *Buffer[E]) Remove(block addr.Block) *Entry[E] {
 func (b *Buffer[E]) Entries() []*Entry[E] {
 	out := make([]*Entry[E], 0, b.idx.n)
 	seen := make(map[addr.Block]struct{}, b.idx.n)
-	for _, block := range b.fifo {
+	for _, block := range b.fifo[b.fifoHead:] {
 		if _, dup := seen[block]; dup {
 			continue
 		}
@@ -331,6 +373,20 @@ func (b *Buffer[E]) Entries() []*Entry[E] {
 	return out
 }
 
+// Release returns a drained entry to the buffer's free list for reuse by
+// a later allocation. The caller asserts no reference to the entry (or
+// anything it points into) survives the call: crash snapshots deep-copy
+// entries, so the drain loop may release an entry as soon as its persist
+// completes. Releasing is optional — unreleased entries are simply
+// garbage collected.
+func (b *Buffer[E]) Release(e *Entry[E]) {
+	if e == nil || len(b.free) >= b.capacity {
+		return
+	}
+	*e = Entry[E]{}
+	b.free = append(b.free, e)
+}
+
 // Stats returns cumulative (allocations, writes, drains).
 func (b *Buffer[E]) Stats() (allocs, writes, drains uint64) {
 	return b.allocs, b.writes, b.drains
@@ -340,12 +396,8 @@ func (b *Buffer[E]) Stats() (allocs, writes, drains uint64) {
 // coalescing statistic the paper reports. Entries still resident are
 // not counted.
 func (b *Buffer[E]) NWPE() float64 {
-	if len(b.writeHist) == 0 {
+	if b.drainWriteCnt == 0 {
 		return 0
 	}
-	var sum uint64
-	for _, w := range b.writeHist {
-		sum += w
-	}
-	return float64(sum) / float64(len(b.writeHist))
+	return float64(b.drainWriteSum) / float64(b.drainWriteCnt)
 }

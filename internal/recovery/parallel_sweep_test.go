@@ -1,0 +1,92 @@
+package recovery
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"secpb/internal/addr"
+	"secpb/internal/bmt"
+	"secpb/internal/config"
+	"secpb/internal/crypto"
+	"secpb/internal/energy"
+	"secpb/internal/engine"
+	"secpb/internal/workload"
+)
+
+// faultRunFingerprint runs one seeded faulty-media crash/drain cycle
+// (COBCM, torn-write media) end to end and returns the recovered PM
+// image plus the BMT root — everything downstream triage depends on.
+func faultRunFingerprint(t *testing.T) (map[addr.Block][addr.BlockBytes]byte, bmt.Digest) {
+	t.Helper()
+	cfg := config.Default().WithScheme(config.SchemeCOBCM)
+	cfg.Seed = 0x5EED
+	cfg.FaultSeed = 0xFA017
+	cfg.FaultWriteFailRate = 0.1
+	cfg.FaultTornRate = 0.1
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(cfg, prof, []byte("parallel-sweep-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, cfg.Seed, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(gen); err != nil {
+		t.Fatal(err)
+	}
+	mc := e.Controller()
+	perJ, err := energy.PerEntryDrainJ(cfg.Scheme, cfg.BMTLevels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJournal(e.SecPB().SnapshotEntries())
+	for !j.Complete() {
+		budget := energy.NewBudget(3.5 * perJ)
+		if _, derr := DrainEntriesBudget(mc, j, budget); derr != nil && !errors.Is(derr, ErrBatteryExhausted) {
+			t.Fatal(derr)
+		}
+	}
+	img := make(map[addr.Block][addr.BlockBytes]byte)
+	for _, b := range mc.PM().Blocks() {
+		ct, _ := mc.PM().Peek(b)
+		img[b] = ct
+	}
+	return img, mc.Tree().Root()
+}
+
+// TestFaultSweepParallelSweepIdentity holds a degraded-media
+// crash-and-drain run byte-identical between the serial and parallel
+// sweep configurations: faulty media disables drain-tuple staging, but
+// the BMT sweeps (and any batched MAC hashing) still run, and the
+// recovered NV image must not depend on how they were scheduled.
+func TestFaultSweepParallelSweepIdentity(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	defer bmt.SetDefaultSweepWorkers(0)
+	defer crypto.SetDefaultLanes(0)
+
+	bmt.SetDefaultSweepWorkers(1)
+	crypto.SetDefaultLanes(1)
+	serialImg, serialRoot := faultRunFingerprint(t)
+
+	for _, workers := range []int{4, 8} {
+		bmt.SetDefaultSweepWorkers(workers)
+		crypto.SetDefaultLanes(4)
+		img, root := faultRunFingerprint(t)
+		if root != serialRoot {
+			t.Errorf("BMT root differs with %d sweep workers", workers)
+		}
+		if len(img) != len(serialImg) {
+			t.Fatalf("PM image has %d blocks with %d sweep workers, %d serial", len(img), workers, len(serialImg))
+		}
+		for b, ct := range serialImg {
+			if img[b] != ct {
+				t.Errorf("block %#x ciphertext differs with %d sweep workers", b.Addr(), workers)
+			}
+		}
+	}
+}

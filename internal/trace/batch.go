@@ -91,3 +91,37 @@ func (b *Batch) Validate() error {
 type BatchSource interface {
 	NextBatch(b *Batch) bool
 }
+
+// SliceBatchSource replays a pre-materialized op slice in columnar
+// chunks — the batched counterpart of SliceSource, for benchmarks and
+// tests that want the batched replay path without generator cost in
+// the loop.
+type SliceBatchSource struct {
+	ops []Op
+	pos int
+}
+
+// NewSliceBatchSource returns a BatchSource over ops.
+func NewSliceBatchSource(ops []Op) *SliceBatchSource {
+	return &SliceBatchSource{ops: ops}
+}
+
+// Reset rewinds the source to the start of the slice.
+func (s *SliceBatchSource) Reset() { s.pos = 0 }
+
+// NextBatch fills b with the next chunk of ops.
+func (s *SliceBatchSource) NextBatch(b *Batch) bool {
+	if s.pos >= len(s.ops) {
+		return false
+	}
+	b.Reset()
+	n := len(s.ops) - s.pos
+	if c := b.Cap(); n > c {
+		n = c
+	}
+	for _, op := range s.ops[s.pos : s.pos+n] {
+		b.Append(op)
+	}
+	s.pos += n
+	return true
+}

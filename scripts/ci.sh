@@ -15,11 +15,22 @@ go test -race ./...
 go test -run '^$' -bench . -benchtime 1x ./...
 
 # Differential fuzzers on their seed corpora: the fast SHA-512 and
-# AES-NI OTP paths must agree with their hand-rolled references, the
-# paged table and the persist buffer must agree with their map models,
-# and every seeded corruption must be flagged, on every gate run.
+# AES-NI OTP paths must agree with their hand-rolled references (the
+# interleaved multi-buffer MAC lanes included, via FuzzMACLanesVsScalar),
+# the paged table and the persist buffer must agree with their map
+# models, and every seeded corruption must be flagged, on every gate run.
 go test -run Fuzz ./internal/crypto/... ./internal/ptable/... \
     ./internal/pb/... ./internal/recovery/...
+
+# Parallel data plane: the subtree-parallel BMT sweep, the interleaved
+# MAC lanes, and the OTP-prefetch replay pipeline must produce results
+# identical to the serial paths — and do so race-free. These tests force
+# GOMAXPROCS>=2 internally so the parallel code engages even on 1-CPU
+# hosts.
+go test -race \
+    -run 'TestParallelSweepMatchesSerial|TestRunBatchPrefetchMatchesScalar|TestArtifactIdentityParallelSweep|TestCrashMatrixParallelSweepIdentity|TestFaultSweepParallelSweepIdentity' \
+    ./internal/bmt/ ./internal/engine/ ./internal/harness/ \
+    ./internal/crashsim/ ./internal/recovery/
 
 
 # Determinism gate: the table4 artifact must be byte-identical between a
@@ -37,6 +48,20 @@ if ! diff -q "$tmp/table4_serial.txt" "$tmp/table4_parallel.txt"; then
     exit 1
 fi
 echo "table4 identical: serial/-memo=false vs parallel/memoized"
+
+# ... and across the parallel-data-plane knobs: sweep workers and MAC
+# lane width are wall-clock strategies, never allowed to leak into the
+# artifact bytes.
+for knobs in "-parallel 4 -sweepworkers 4 -lanes 4" "-parallel 8 -sweepworkers 8 -lanes 2"; do
+    # shellcheck disable=SC2086
+    "$tmp/secpb-bench" -exp table4 -ops 5000 $knobs \
+        > "$tmp/table4_knobs.txt" 2>&1
+    if ! diff -q "$tmp/table4_parallel.txt" "$tmp/table4_knobs.txt"; then
+        echo "ERROR: table4 differs under $knobs" >&2
+        exit 1
+    fi
+done
+echo "table4 identical across sweep-worker and MAC-lane settings"
 
 # Crash-matrix smoke: every SecPB scheme survives a fixed-seed set of
 # injected power failures on a short trace, recovering byte-identically

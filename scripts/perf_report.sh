@@ -34,6 +34,19 @@ go test -bench 'BenchmarkOTPGenReference$|BenchmarkPTableVsMap|BenchmarkRunBatch
 go test -bench 'BenchmarkExpAllMemoized' -benchtime 1x -run '^$' . \
     | tee "$out/bench_memo.txt"
 
+echo "== parallel data plane =="
+# Multi-buffer MAC lanes vs the scalar fast path, the subtree-parallel
+# BMT sweep vs serial (256 dirty leaves per op), and the batched replay
+# with the OTP-prefetch pipeline. On 1-CPU hosts the parallel widths
+# bound fork/join overhead rather than showing speedup — record the
+# host's GOMAXPROCS next to these numbers.
+go test -bench 'BenchmarkMACBatch|BenchmarkLaneCompression' \
+    -benchmem -benchtime 2s -run '^$' ./internal/crypto/ | tee "$out/bench_maclanes.txt"
+go test -bench 'BenchmarkSweepParallel' \
+    -benchmem -benchtime 2s -run '^$' ./internal/bmt/ | tee "$out/bench_sweep.txt"
+go test -bench 'BenchmarkRunBatchVsRun' \
+    -benchmem -benchtime 2s -run '^$' . | tee "$out/bench_runbatch.txt"
+
 echo "== table4 sweep: serial vs parallel =="
 go build -o "$out/secpb-bench" ./cmd/secpb-bench
 "$out/secpb-bench" -exp table4 -ops 60000 -parallel 1 \
@@ -41,8 +54,12 @@ go build -o "$out/secpb-bench" ./cmd/secpb-bench
 "$out/secpb-bench" -exp table4 -ops 60000 -parallel 0 \
     -timing "$out/timing_parallel.json" > "$out/table4_parallel.txt"
 
-if diff -q "$out/table4_serial.txt" "$out/table4_parallel.txt" > /dev/null; then
-    echo "output identical across parallelism levels"
+"$out/secpb-bench" -exp table4 -ops 60000 -parallel 0 -sweepworkers 8 -lanes 4 \
+    > "$out/table4_parsweep.txt"
+
+if diff -q "$out/table4_serial.txt" "$out/table4_parallel.txt" > /dev/null &&
+    diff -q "$out/table4_serial.txt" "$out/table4_parsweep.txt" > /dev/null; then
+    echo "output identical across parallelism, sweep-worker and lane levels"
 else
     echo "ERROR: parallel output differs from serial" >&2
     exit 1
