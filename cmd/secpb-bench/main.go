@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -30,7 +31,24 @@ import (
 
 var allExperiments = []string{
 	"table4", "fig6", "table5", "table6", "fig7", "fig8", "fig9",
-	"stats", "ablation", "gaps", "sensitivity",
+	"stats", "ablation", "gaps", "sensitivity", "multicore",
+}
+
+// parseCores parses the -cores flag: a comma list of positive core
+// counts for the multicore battery grid.
+func parseCores(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad core count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // main delegates to benchMain so deferred cleanup (profile writers)
@@ -48,6 +66,7 @@ func benchMain() int {
 		parallel = flag.Int("parallel", 0, "simulation workers (0 = one per CPU core, 1 = serial); output is identical at any value")
 		lanes    = flag.Int("lanes", 0, "pin the MAC hash lane width (0 = auto, 1 = scalar, 2/4 = interleaved); output is identical at any width")
 		sweepW   = flag.Int("sweepworkers", 0, "pin the BMT sweep worker count (0 = auto, 1 = serial); output is identical at any count")
+		cores    = flag.String("cores", "", "comma list of core counts for the multicore battery grid (default 1,8,64,256); cores=1 artifacts are byte-identical to the single-core path")
 		memo     = flag.Bool("memo", true, "cache simulation cells by content so overlapping experiment grids simulate each unique (config, benchmark, ops) cell once; output is identical either way")
 		verbose  = flag.Bool("v", false, "print per-simulation progress")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of rendered text")
@@ -90,6 +109,15 @@ func benchMain() int {
 	// wall-clock strategy only — artifacts are identical at any setting.
 	crypto.SetDefaultLanes(*lanes)
 	bmt.SetDefaultSweepWorkers(*sweepW)
+
+	gridCores, err := parseCores(*cores)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secpb-bench: -cores: %v\n", err)
+		return 2
+	}
+	if len(gridCores) == 0 {
+		gridCores = []int{1, 8, 64, 256}
+	}
 
 	opt := harness.DefaultOptions()
 	opt.Ops = *ops
@@ -195,6 +223,10 @@ func benchMain() int {
 		tab, err := harness.Sensitivity(opt)
 		return tab, nil, err
 	})
+	run("multicore", func() (fmt.Stringer, interface{}, error) {
+		grid, tab, err := harness.MulticoreBattery(opt, gridCores)
+		return tab, grid, err
+	})
 
 	if failed {
 		return 1
@@ -225,6 +257,7 @@ func benchMain() int {
 			"parallelism":   workers,
 			"mac_lanes":     crypto.DefaultLanes(),
 			"sweep_workers": bmt.DefaultSweepWorkers(),
+			"cores":         gridCores,
 			"experiments_s": timings,
 			"total_s":       time.Since(startAll).Seconds(),
 		}

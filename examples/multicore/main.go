@@ -1,8 +1,11 @@
-// multicore: the Section IV.C coherence protocol between per-core
-// SecPBs — entry migration on remote writes, flush-to-PM on remote
-// reads, no replication ever — followed by a whole-system crash where
-// the battery drains every core's buffer and the shared PM image
-// recovers exactly.
+// multicore: the promoted multi-core simulation path — a 4-core socket
+// where each core owns a private memory-channel shard and SecPB, a
+// MESI-coherent shared region arbitrates cross-core traffic (entry
+// migration on remote writes, flush-to-PM on remote reads, no
+// replication ever), and cores step in parallel between deterministic
+// drain-epoch barriers. A whole-socket power loss then drains every
+// buffer on battery, and the sealed recovery journal shows why the
+// cross-core replay order is data, not convention.
 //
 //	go run ./examples/multicore
 package main
@@ -10,71 +13,115 @@ package main
 import (
 	"fmt"
 	"log"
+	"reflect"
 
-	"secpb/internal/addr"
-	"secpb/internal/coherence"
 	"secpb/internal/config"
-	"secpb/internal/xrand"
+	"secpb/internal/engine"
+	"secpb/internal/nvm"
+	"secpb/internal/recovery"
+	"secpb/internal/workload"
 )
 
 func main() {
 	const cores = 4
-	sys, err := coherence.New(config.Default().WithScheme(config.SchemeCM), cores, []byte("multicore"))
+	key := []byte("multicore-example-key")
+
+	// A conflict-heavy shared plan: a small hot region with a high
+	// redirect rate, so the MESI directory sees real contention.
+	cfg := config.Default().WithScheme(config.SchemeCOBCM).WithCores(cores)
+	cfg.MCSharedBlocks = 8
+	cfg.MCSharedPerKilo = 150
+
+	prof, err := workload.ByName("gromacs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := engine.NewSystem(cfg, prof, key, 5000)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// A producer/consumer pattern: core 0 fills a record, core 1 reads
-	// it, core 2 takes over writing.
-	rec := uint64(0x1000_0000)
-	fmt.Println("== producer/consumer handoff ==")
-	if err := sys.Store(0, rec, 8, 0xFEED); err != nil {
+	fmt.Printf("== %d-core socket, %s, 5000 ops/core ==\n", cores, cfg.Scheme)
+	if err := sys.Run(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("core 0 stored; entry in SecPB 0: %v\n", sys.SecPB(0).Lookup(addr.BlockOf(rec)) != nil)
-
-	v, err := sys.Load(1, rec)
-	if err != nil {
+	res := sys.Collect()
+	if err := res.IntegrityErr(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("core 1 read %#x; entry flushed to PM (SecPB 0 now holds it: %v)\n",
-		uint64(v[0])|uint64(v[1])<<8, sys.SecPB(0).Lookup(addr.BlockOf(rec)) != nil)
-
-	if err := sys.Store(2, rec+8, 8, 0xBEEF); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("core 2 wrote; entry now owned by SecPB 2: %v\n",
-		sys.SecPB(2).Lookup(addr.BlockOf(rec)) != nil)
-
-	// Random sharing storm across all cores.
-	fmt.Println("\n== 4-core sharing storm (6000 ops over 32 shared blocks) ==")
-	r := xrand.New(2026)
-	for i := 0; i < 6000; i++ {
-		c := r.Intn(cores)
-		a := 0x2000_0000 + uint64(r.Intn(32))*64 + uint64(r.Intn(8))*8
-		if r.Bool(0.6) {
-			if err := sys.Store(c, a, 8, r.Uint64()); err != nil {
-				log.Fatal(err)
-			}
-		} else if _, err := sys.Load(c, a); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := sys.CheckInvariants(); err != nil {
+	fmt.Println(res)
+	m := res.MESI
+	fmt.Printf("MESI: %d reads / %d writes, %d cold misses, %d upgrades, %d invalidations\n",
+		m.Reads, m.Writes, m.ColdMisses, m.Upgrades, m.Invalidations)
+	fmt.Printf("      %d migrations (remote write of M line), %d read flushes (remote read of M line)\n",
+		m.Migrations, m.ReadFlushes)
+	if err := sys.Shared().CheckInvariants(); err != nil {
 		log.Fatalf("coherence invariant broken: %v", err)
 	}
-	migs, flushes := sys.Stats()
-	fmt.Printf("migrations: %d, read-triggered flushes: %d — invariants hold (no replication)\n", migs, flushes)
+	fmt.Println("coherence invariants hold: every Modified line has exactly one SecPB entry, never replicated")
 
-	// Whole-system power loss.
-	fmt.Println("\n== power loss: battery drains every core's SecPB ==")
+	// Snapshot the socket as a crash would find it: per-shard media
+	// images plus every buffer's entries, in the canonical drain order —
+	// ascending core over private SecPBs, then ascending core over the
+	// shared-region SecPBs.
+	restore := func(mc *nvm.Controller) *nvm.Controller {
+		r, err := nvm.Restore(mc.Config(), key, mc.PM().Snapshot(),
+			mc.Counters().Snapshot(), mc.MACs().Snapshot(), mc.Tree().Snapshot())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+	var parts []recovery.CoreEntries
+	for c := 0; c < cores; c++ {
+		parts = append(parts, recovery.CoreEntries{
+			Core: c, MC: restore(sys.Core(c).Controller()),
+			Entries: sys.Core(c).SecPB().SnapshotEntries(),
+		})
+	}
+	sharedMC := restore(sys.Shared().Controller())
+	for c := 0; c < cores; c++ {
+		parts = append(parts, recovery.CoreEntries{
+			Core: c, MC: sharedMC,
+			Entries: sys.Shared().SecPB(c).SnapshotEntries(),
+		})
+	}
+
+	// Whole-socket power loss on the live system: the battery funds a
+	// FIFO drain of all 2N buffers.
+	fmt.Println("\n== power loss: battery drains every core's buffers ==")
 	n, err := sys.CrashDrainAll()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sys.VerifyRecovery(); err != nil {
+	fmt.Printf("drained %d entries across %d private + %d shared SecPBs\n", n, cores, cores)
+
+	// Replay the same late work on the restored shards through the
+	// sealed journal: the canonical order drains, any other order is
+	// rejected before a single entry touches media.
+	fmt.Println("\n== sealed recovery journal: replay order is data ==")
+	j := recovery.NewSystemJournal(parts)
+	if _, err := j.DrainPart(1); err != nil {
+		fmt.Printf("draining core 1 before core 0: rejected (%v)\n", err)
+	} else {
+		log.Fatal("journal accepted an out-of-order drain")
+	}
+	cost, err := recovery.DrainSystemEntries(parts, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c := 0; c < cores; c++ {
+		if !reflect.DeepEqual(parts[c].MC.PM().Snapshot(), sys.Core(c).Controller().PM().Snapshot()) {
+			log.Fatalf("core %d: recovered image differs from the live crash drain", c)
+		}
+	}
+	if !reflect.DeepEqual(sharedMC.PM().Snapshot(), sys.Shared().Controller().PM().Snapshot()) {
+		log.Fatal("shared region: recovered image differs from the live crash drain")
+	}
+	fmt.Printf("canonical order replayed: %d data + %d metadata PM writes; recovered shards match the live post-crash image\n",
+		cost.PMDataWrites, cost.PMMetaWrites)
+	if err := sys.Shared().VerifyRecovery(); err != nil {
 		log.Fatalf("recovery failed: %v", err)
 	}
-	fmt.Printf("drained %d entries across %d cores; every block decrypted and verified against the coherent view\n",
-		n, cores)
+	fmt.Println("every shared block decrypted and verified against the coherent view")
 }

@@ -1,0 +1,240 @@
+package coherence
+
+import (
+	"math/bits"
+
+	"secpb/internal/addr"
+	"secpb/internal/ptable"
+)
+
+// LineState is a block's MESI state in the shared-region directory. The
+// states are interpreted against the SecPB protocol of Section IV.C:
+//
+//   - Modified: the line is resident (dirty, not yet persisted) in the
+//     owner core's SecPB — the only state with a persist-buffer entry.
+//   - Exclusive: one core has the line, clean in PM (granted on a read
+//     miss with no other holder; a later write upgrades silently).
+//   - Shared: the line is persisted in PM and readable by every sharer
+//     (a remote read of a Modified line flushes the owner's entry and
+//     lands here — "the entry leaves the persist-buffer domain").
+//   - Invalid: untracked (never accessed, or invalidated by a write).
+type LineState uint8
+
+const (
+	Invalid LineState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the state's MESI letter.
+func (s LineState) String() string {
+	switch s {
+	case Modified:
+		return "M"
+	case Exclusive:
+		return "E"
+	case Shared:
+		return "S"
+	default:
+		return "I"
+	}
+}
+
+// Line is one directory entry. Sharers is a 64-bit presence mask; cores
+// beyond 64 fold onto it modulo 64, which can only under-count
+// invalidations (a stats/timing approximation — functional correctness
+// never depends on the sharer set, since a line leaves the
+// persist-buffer domain the moment it is flushed to PM).
+type Line struct {
+	State   LineState
+	Owner   int16 // meaningful in Modified/Exclusive
+	Sharers uint64
+}
+
+// MESIStats counts directory transitions.
+type MESIStats struct {
+	Reads         uint64 `json:"reads"`
+	Writes        uint64 `json:"writes"`
+	Hits          uint64 `json:"hits"`           // requester already held the line (M/E)
+	Migrations    uint64 `json:"migrations"`     // M(other) write: SecPB entry migrated
+	ReadFlushes   uint64 `json:"read_flushes"`   // M(other) read: owner entry flushed to PM
+	Invalidations uint64 `json:"invalidations"`  // sharer/exclusive copies killed by writes
+	Upgrades      uint64 `json:"upgrades"`       // S→M by a sharer, or silent E→M
+	ColdMisses    uint64 `json:"cold_misses"`    // I→E / I→M allocations
+	DrainDemotes  uint64 `json:"drain_demotes"`  // M→S because the owner's entry drained
+	ImmediateRead uint64 `json:"immediate_read"` // non-M reads served without deferral
+}
+
+// Action is what a directory transition requires of the protocol layer.
+type Action struct {
+	Prev, Next LineState
+	// FlushFrom >= 0 asks the caller to flush that core's SecPB entry to
+	// PM (remote read of a Modified line).
+	FlushFrom int
+	// MigrateFrom >= 0 asks the caller to migrate that core's SecPB
+	// entry to the requester (remote write of a Modified line).
+	MigrateFrom int
+	// Invalidations is how many remote copies this write killed.
+	Invalidations int
+	// Hit reports the requester already held the line.
+	Hit bool
+}
+
+// Directory is the shared-region MESI directory. Lookups are striped
+// (ptable.Sharded) so concurrently stepping cores may Peek during the
+// parallel phase of an epoch; state transitions happen only at
+// serialized drain-epoch barriers.
+type Directory struct {
+	lines *ptable.Sharded[Line]
+	stats MESIStats
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{lines: ptable.NewSharded[Line]()}
+}
+
+// Stats returns the transition counters.
+func (d *Directory) Stats() MESIStats { return d.stats }
+
+func sharerBit(core int) uint64 { return 1 << (uint(core) % 64) }
+
+// Peek returns the line's current state and owner without recording an
+// access. Safe to call concurrently with other Peeks (the parallel
+// phase consults a frozen directory; mutations are barrier-only).
+func (d *Directory) Peek(b addr.Block) (LineState, int) {
+	l, ok := d.lines.Lookup(b.Index())
+	if !ok {
+		return Invalid, -1
+	}
+	return l.State, int(l.Owner)
+}
+
+// NoteImmediateRead counts a parallel-phase read of a non-Modified line
+// served directly from the coherent view. Call only from serialized
+// sections (barriers); cores accumulate privately during an epoch.
+func (d *Directory) NoteImmediateRead(n uint64) { d.stats.ImmediateRead += n }
+
+// Read records core's read of block b and returns the required action.
+// Barrier-only (serialized).
+func (d *Directory) Read(core int, b addr.Block) Action {
+	d.stats.Reads++
+	act := Action{FlushFrom: -1, MigrateFrom: -1}
+	d.lines.Update(b.Index(), func(l *Line) {
+		act.Prev = l.State
+		switch l.State {
+		case Invalid:
+			l.State, l.Owner, l.Sharers = Exclusive, int16(core), sharerBit(core)
+			d.stats.ColdMisses++
+		case Exclusive:
+			if int(l.Owner) == core {
+				act.Hit = true
+				d.stats.Hits++
+				break
+			}
+			l.State = Shared
+			l.Sharers |= sharerBit(core)
+		case Shared:
+			l.Sharers |= sharerBit(core)
+		case Modified:
+			if int(l.Owner) == core {
+				act.Hit = true
+				d.stats.Hits++
+				break
+			}
+			// Remote read: the owner's entry is flushed to PM in
+			// parallel with the data forward; the line becomes Shared.
+			act.FlushFrom = int(l.Owner)
+			d.stats.ReadFlushes++
+			l.State = Shared
+			l.Sharers |= sharerBit(core)
+		}
+		act.Next = l.State
+	})
+	return act
+}
+
+// Write records core's write of block b and returns the required
+// action. Barrier-only (serialized).
+func (d *Directory) Write(core int, b addr.Block) Action {
+	d.stats.Writes++
+	act := Action{FlushFrom: -1, MigrateFrom: -1}
+	d.lines.Update(b.Index(), func(l *Line) {
+		act.Prev = l.State
+		switch l.State {
+		case Invalid:
+			d.stats.ColdMisses++
+		case Exclusive:
+			if int(l.Owner) == core {
+				d.stats.Upgrades++ // silent E→M
+			} else {
+				act.Invalidations = 1
+				d.stats.Invalidations++
+			}
+		case Shared:
+			others := bits.OnesCount64(l.Sharers &^ sharerBit(core))
+			act.Invalidations = others
+			d.stats.Invalidations += uint64(others)
+			if l.Sharers&sharerBit(core) != 0 {
+				d.stats.Upgrades++
+			}
+		case Modified:
+			if int(l.Owner) == core {
+				act.Hit = true
+				d.stats.Hits++
+			} else {
+				// Remote write: migrate the entry with its
+				// data-value-independent metadata (Section IV.C).
+				act.MigrateFrom = int(l.Owner)
+				d.stats.Migrations++
+			}
+		}
+		l.State, l.Owner, l.Sharers = Modified, int16(core), sharerBit(core)
+		act.Next = Modified
+	})
+	return act
+}
+
+// DrainDemote records that the owner's SecPB entry for b drained to PM
+// (watermark or capacity eviction): the line leaves the persist-buffer
+// domain and becomes Shared in PM.
+func (d *Directory) DrainDemote(b addr.Block) {
+	d.lines.Update(b.Index(), func(l *Line) {
+		if l.State == Modified {
+			l.State = Shared
+			d.stats.DrainDemotes++
+		}
+	})
+}
+
+// DemoteAll demotes every Modified line to Shared — the directory image
+// after a crash drain persisted every SecPB entry.
+func (d *Directory) DemoteAll() {
+	for _, k := range d.lines.Keys() {
+		d.lines.Update(k, func(l *Line) {
+			if l.State == Modified {
+				l.State = Shared
+			}
+		})
+	}
+}
+
+// Modified returns the blocks currently in Modified state with their
+// owners, in ascending block order (deterministic).
+func (d *Directory) Modified() []ModifiedLine {
+	var out []ModifiedLine
+	d.lines.Range(func(idx uint64, l Line) bool {
+		if l.State == Modified {
+			out = append(out, ModifiedLine{Block: addr.FromIndex(idx), Owner: int(l.Owner)})
+		}
+		return true
+	})
+	return out
+}
+
+// ModifiedLine is one Modified directory line.
+type ModifiedLine struct {
+	Block addr.Block
+	Owner int
+}

@@ -215,6 +215,27 @@ type Config struct {
 	FaultRotRate       float64 // latent bit rot, per read / decay visit
 	MaxWriteRetries    int     // bounded retries before bad-block remap
 
+	// Multi-core sharded simulation (engine.System). Cores <= 1 keeps the
+	// classic single-core engine path — every existing artifact is
+	// produced by exactly the same code. Cores >= 2 simulates N cores,
+	// each with a private store buffer, SecPB, cache hierarchy and
+	// memory-channel shard (own controller + PM + metadata stores), plus
+	// one shared coherent region handled by the MESI directory of
+	// internal/coherence at drain-epoch barriers.
+	Cores int
+	// MCSharedPerKilo is the per-kilo-op rate at which a core's stream is
+	// redirected to the shared coherent region (0 uses the default).
+	MCSharedPerKilo int
+	// MCSharedBlocks is the size of the shared hot region in blocks
+	// (0 uses the default).
+	MCSharedBlocks int
+	// MCEpochOps is the number of ops each core advances between
+	// drain-epoch barriers (0 uses the default). Barriers are where
+	// deferred shared-region ops replay in canonical core order, so this
+	// knob trades cross-core merge latency for barrier frequency; the
+	// result stream is deterministic at any setting of the worker pool.
+	MCEpochOps int
+
 	// Seed for workload generation.
 	Seed uint64
 }
@@ -351,7 +372,27 @@ func (c Config) Validate() error {
 	if c.MaxWriteRetries < 0 || c.MaxWriteRetries > 16 {
 		return fmt.Errorf("config: MaxWriteRetries out of range: %d", c.MaxWriteRetries)
 	}
+	if c.Cores < 0 || c.Cores > 1024 {
+		return fmt.Errorf("config: Cores out of range [0,1024]: %d", c.Cores)
+	}
+	if c.MCSharedPerKilo < 0 || c.MCSharedPerKilo > 1000 {
+		return fmt.Errorf("config: MCSharedPerKilo out of range [0,1000]: %d", c.MCSharedPerKilo)
+	}
+	if c.MCSharedBlocks < 0 {
+		return fmt.Errorf("config: MCSharedBlocks must be non-negative, got %d", c.MCSharedBlocks)
+	}
+	if c.MCEpochOps < 0 {
+		return fmt.Errorf("config: MCEpochOps must be non-negative, got %d", c.MCEpochOps)
+	}
 	return nil
+}
+
+// EffectiveCores returns the simulated core count (Cores, min 1).
+func (c Config) EffectiveCores() int {
+	if c.Cores <= 1 {
+		return 1
+	}
+	return c.Cores
 }
 
 // WithScheme returns a copy of c running the given scheme.
@@ -363,5 +404,11 @@ func (c Config) WithScheme(s Scheme) Config {
 // WithSecPBEntries returns a copy of c with the given SecPB capacity.
 func (c Config) WithSecPBEntries(n int) Config {
 	c.SecPBEntries = n
+	return c
+}
+
+// WithCores returns a copy of c simulating n cores.
+func (c Config) WithCores(n int) Config {
+	c.Cores = n
 	return c
 }

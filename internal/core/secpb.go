@@ -144,6 +144,9 @@ func (s *SecPB) Scheme() config.Scheme { return s.scheme }
 // Len returns the current occupancy.
 func (s *SecPB) Len() int { return s.buf.Len() }
 
+// PeakLen returns the high-water entry occupancy over the run.
+func (s *SecPB) PeakLen() int { return s.buf.PeakLen() }
+
 // Full reports whether a new allocation would fail.
 func (s *SecPB) Full() bool { return s.buf.Full() }
 

@@ -63,7 +63,7 @@ func (s *Snapshot) RecoverVerify(golden map[addr.Block][addr.BlockBytes]byte) (V
 		res.fail(fmt.Sprintf("late work failed: %v", err))
 		return res, nil
 	}
-	return res, s.verifyImage(mc, golden, &res)
+	return res, verifyImage(mc, golden, &res)
 }
 
 // RecoverVerifyResumable is RecoverVerify under a degraded battery: the
@@ -116,12 +116,14 @@ func (s *Snapshot) RecoverVerifyResumable(golden map[addr.Block][addr.BlockBytes
 		return res, nil
 	}
 	res.EntriesDrained = j.Done()
-	return res, s.verifyImage(mc, golden, &res)
+	return res, verifyImage(mc, golden, &res)
 }
 
 // verifyImage runs checks 1-4 (see RecoverVerify) over a recovered
-// controller against the golden plaintext image.
-func (s *Snapshot) verifyImage(mc *nvm.Controller, golden map[addr.Block][addr.BlockBytes]byte, res *VerifyResult) error {
+// controller against the golden plaintext image. It is shard-agnostic:
+// the multi-core matrix applies it to each private memory-channel shard
+// and to the shared coherent region independently.
+func verifyImage(mc *nvm.Controller, golden map[addr.Block][addr.BlockBytes]byte, res *VerifyResult) error {
 	audit, err := recovery.AuditImage(mc)
 	if err != nil {
 		return fmt.Errorf("crashsim: audit: %w", err)

@@ -62,6 +62,7 @@ type Engine struct {
 	inflight   []uint64 // completion times of scheduled drains (FIFO)
 	draining   bool     // watermark drain in progress
 	virtualOcc int
+	peakOcc    int // high-water virtual occupancy (battery sizing)
 
 	// gapHist measures the draining + sec-sync window the battery must
 	// be able to cover (the gaps of Figure 3); each entry's point of
@@ -294,6 +295,60 @@ func (e *Engine) finishRun() error {
 	return nil
 }
 
+// ExternalOp accounts for one memory operation executed outside this
+// core's private data path — a shared-region access handled by the
+// coherence layer in engine.System. The op's instruction gap retires at
+// the profile CPI like any other op, and stall cycles (directory access,
+// remote flush/migration latency) charge against retirement. The private
+// caches, SecPB and controller are untouched.
+func (e *Engine) ExternalOp(gap uint32, stall uint64) {
+	e.advance(gap)
+	e.now += stall
+	e.loadStall += stall
+}
+
+// AddStall charges stall cycles accumulated on the core's behalf at a
+// drain-epoch barrier (deferred shared-op latency).
+func (e *Engine) AddStall(cycles uint64) {
+	e.now += cycles
+	e.loadStall += cycles
+}
+
+// EpochBarrier settles the controller at a drain-epoch boundary in
+// multi-core runs: deferred drain tuples flush and staged BMT walks
+// commit in one coalesced sweep. Functional state and Cost accounting
+// are unchanged (the staging layer is wall-clock-only, see DESIGN.md
+// §5.6), so calling this at any frequency never alters results.
+func (e *Engine) EpochBarrier() {
+	e.mc.FlushStaged()
+	e.mc.CompleteSweep()
+}
+
+// Occupancy returns the current virtual SecPB occupancy (resident
+// entries including scheduled drains still in flight).
+func (e *Engine) Occupancy() int { return e.virtualOcc }
+
+// PeakOccupancy returns the run's high-water virtual SecPB occupancy.
+func (e *Engine) PeakOccupancy() int { return e.peakOcc }
+
+// Finish closes the region of interest exactly as Run does — store
+// buffer drained, staging settled — for callers that step the engine
+// manually (engine.System drives per-core epochs itself).
+func (e *Engine) Finish() error { return e.finishRun() }
+
+// CrashDrain flushes the core's SecPB on battery power (FIFO order) and
+// settles the engine's occupancy tracking: after it returns, every
+// entry — including drains that were in flight — is persisted.
+func (e *Engine) CrashDrain() (int, error) {
+	if e.spb == nil {
+		return 0, nil
+	}
+	n, _, err := e.spb.CrashDrain()
+	e.inflight = e.inflight[:0]
+	e.virtualOcc = 0
+	return n, err
+}
+
 // doLoad models a data read.
 func (e *Engine) doLoad(op trace.Op) {
 	e.loads++
@@ -397,6 +452,9 @@ func (e *Engine) doStore(op trace.Op) error {
 	}
 	if cost.Allocated {
 		e.virtualOcc++
+		if e.virtualOcc > e.peakOcc {
+			e.peakOcc = e.virtualOcc
+		}
 	}
 
 	// Early-work timing follows Figure 4's dependency graph: the

@@ -24,6 +24,7 @@ type Result struct {
 
 	// SecPB behaviour.
 	EntriesAllocated uint64
+	PeakOccupancy    int    // high-water SecPB occupancy (battery sizing)
 	BMTRootUpdates   uint64 // functional leaf-to-root walks (drain-side)
 	EarlyBMTWalks    uint64 // walks charged at allocation (eager schemes)
 	PBServedLoads    uint64
@@ -68,6 +69,7 @@ func (e *Engine) Collect() Result {
 	if e.spb != nil {
 		_, allocs := e.spb.Stats()
 		r.EntriesAllocated = allocs
+		r.PeakOccupancy = e.peakOcc
 		r.NWPE = e.spb.NWPE()
 		earlyBMT, _, _, _ := e.spb.EarlyWorkStats()
 		r.EarlyBMTWalks = earlyBMT

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"secpb/internal/config"
+	"secpb/internal/energy"
+	"secpb/internal/engine"
+	"secpb/internal/runner"
+	"secpb/internal/stats"
+)
+
+// BatteryCell is one scheme × core-count cell of the multi-core
+// battery-sizing grid: the worst-case (all-slots-full) drain energy the
+// battery must be provisioned for, against the measured high-water
+// occupancy the simulation actually reached.
+type BatteryCell struct {
+	Scheme string `json:"scheme"`
+	Cores  int    `json:"cores"`
+
+	// WorstCaseJ funds every battery-backed buffer at capacity: the N
+	// private SecPBs, plus the N shared-region SecPBs the coherence
+	// domain adds when N > 1.
+	WorstCaseJ float64 `json:"worst_case_j"`
+	// MeasuredJ funds the measured peak: per-entry drain energy times
+	// the socket-wide high-water occupancy (summed per-core peaks,
+	// private + shared — conservative, since peaks need not coincide).
+	MeasuredJ   float64 `json:"measured_peak_j"`
+	PeakEntries int     `json:"peak_entries"`
+
+	// Battery volume for the worst case (both technologies).
+	SuperCapMM3 float64 `json:"supercap_mm3"`
+	LiThinMM3   float64 `json:"lithin_mm3"`
+
+	// Throughput and coherence activity of the measuring run.
+	AggIPC      float64 `json:"agg_ipc"`
+	Migrations  uint64  `json:"migrations"`
+	ReadFlushes uint64  `json:"read_flushes"`
+}
+
+// BatteryGrid is the scheme × core-count battery-sizing artifact
+// (the paper's Table VI arithmetic scaled out to multi-core sockets).
+type BatteryGrid struct {
+	Benchmark string        `json:"benchmark"`
+	Ops       uint64        `json:"ops_per_core"`
+	Cores     []int         `json:"core_counts"`
+	Cells     []BatteryCell `json:"cells"`
+}
+
+// WriteJSON emits the artifact deterministically (grid order).
+func (g *BatteryGrid) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// Render writes the human-readable battery-sizing table.
+func (g *BatteryGrid) Render() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Battery sizing × core count (%s, %d ops/core)", g.Benchmark, g.Ops),
+		"scheme", "cores", "worst-case J", "measured J", "peak entries", "supercap mm3", "li-thin mm3", "agg IPC")
+	for i := range g.Cells {
+		c := &g.Cells[i]
+		t.AddRow(c.Scheme, c.Cores, c.WorstCaseJ, c.MeasuredJ, c.PeakEntries, c.SuperCapMM3, c.LiThinMM3, c.AggIPC)
+	}
+	return t
+}
+
+// batteryBuffers returns how many battery-backed SecPBs an n-core
+// socket holds: n private buffers, plus n shared-region buffers once
+// the coherence domain is engaged (n > 1).
+func batteryBuffers(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 2 * n
+}
+
+// MulticoreBattery runs the scheme × core-count grid: each cell
+// simulates an n-core socket end to end (per-core SecPBs, MESI shared
+// region, epoch-merged stepping), measures the socket's peak occupancy,
+// and sizes the battery both ways. Cells fan out over the worker pool;
+// results are reassembled in grid order, so the artifact is
+// byte-identical at any Parallelism.
+func MulticoreBattery(o Options, coreCounts []int) (*BatteryGrid, *stats.Table, error) {
+	if len(coreCounts) == 0 {
+		coreCounts = []int{1, 8, 64, 256}
+	}
+	profs, err := o.profiles()
+	if err != nil {
+		return nil, nil, err
+	}
+	prof := profs[0]
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
+
+	type cellJob struct {
+		scheme config.Scheme
+		cores  int
+	}
+	var jobs []cellJob
+	for _, s := range config.SecPBSchemes() {
+		for _, n := range coreCounts {
+			jobs = append(jobs, cellJob{s, n})
+		}
+	}
+	var progressMu sync.Mutex
+	cells, err := runner.Map(o.Ctx, o.Parallelism, jobs, func(_ context.Context, _ int, j cellJob) (BatteryCell, error) {
+		cfg := o.Cfg.WithScheme(j.scheme).WithCores(j.cores)
+		res, err := engine.RunSystem(cfg, prof, o.Ops)
+		if err != nil {
+			return BatteryCell{}, fmt.Errorf("harness: %s x%d: %w", j.scheme, j.cores, err)
+		}
+		perBufJ, err := energy.SecPBEnergy(j.scheme, cfg.SecPBEntries, cfg.BMTLevels)
+		if err != nil {
+			return BatteryCell{}, err
+		}
+		perEntryJ, err := energy.PerEntryDrainJ(j.scheme, cfg.BMTLevels)
+		if err != nil {
+			return BatteryCell{}, err
+		}
+		worstJ := float64(batteryBuffers(j.cores)) * perBufJ
+		est := energy.EstimateFor(j.scheme.String(), worstJ)
+		cell := BatteryCell{
+			Scheme:      j.scheme.String(),
+			Cores:       j.cores,
+			WorstCaseJ:  worstJ,
+			MeasuredJ:   float64(res.PeakOccupancy) * perEntryJ,
+			PeakEntries: res.PeakOccupancy,
+			SuperCapMM3: est.SuperCapMM3,
+			LiThinMM3:   est.LiThinMM3,
+			AggIPC:      res.AggIPC,
+			Migrations:  res.Migrations,
+			ReadFlushes: res.ReadFlushes,
+		}
+		progressMu.Lock()
+		o.progress("battery %s x%d: peak %d entries, %.3g J worst case",
+			j.scheme, j.cores, cell.PeakEntries, cell.WorstCaseJ)
+		progressMu.Unlock()
+		return cell, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	grid := &BatteryGrid{
+		Benchmark: prof.Name,
+		Ops:       o.Ops,
+		Cores:     append([]int(nil), coreCounts...),
+		Cells:     cells,
+	}
+	return grid, grid.Render(), nil
+}

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"secpb/internal/config"
+)
+
+// TestMulticoreBatteryGrid checks the scheme × core-count grid's shape
+// and the sizing arithmetic: worst case scales with the buffer count,
+// measured peak is positive and never exceeds worst case.
+func TestMulticoreBatteryGrid(t *testing.T) {
+	o := quickOpts()
+	o.Ops = 600
+	grid, table, err := MulticoreBattery(o, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(config.SecPBSchemes()) * 3
+	if len(grid.Cells) != wantCells {
+		t.Fatalf("%d cells, want %d", len(grid.Cells), wantCells)
+	}
+	if table.NumRows() != wantCells {
+		t.Fatalf("table has %d rows, want %d", table.NumRows(), wantCells)
+	}
+	byScheme := map[string]map[int]BatteryCell{}
+	for _, c := range grid.Cells {
+		if byScheme[c.Scheme] == nil {
+			byScheme[c.Scheme] = map[int]BatteryCell{}
+		}
+		byScheme[c.Scheme][c.Cores] = c
+		if c.PeakEntries <= 0 {
+			t.Errorf("%s x%d: peak entries %d", c.Scheme, c.Cores, c.PeakEntries)
+		}
+		if c.MeasuredJ <= 0 || c.MeasuredJ > c.WorstCaseJ {
+			t.Errorf("%s x%d: measured %.3g J outside (0, worst %.3g]", c.Scheme, c.Cores, c.MeasuredJ, c.WorstCaseJ)
+		}
+	}
+	for scheme, cells := range byScheme {
+		// 2 cores hold 4 buffers (private + shared), 4 cores hold 8:
+		// worst case doubles from 2 to 4 cores and is 4x the 1-core case.
+		if cells[2].WorstCaseJ != 4*cells[1].WorstCaseJ {
+			t.Errorf("%s: worst case at 2 cores %.3g != 4x 1-core %.3g", scheme, cells[2].WorstCaseJ, cells[1].WorstCaseJ)
+		}
+		if cells[4].WorstCaseJ != 2*cells[2].WorstCaseJ {
+			t.Errorf("%s: worst case at 4 cores %.3g != 2x 2-core %.3g", scheme, cells[4].WorstCaseJ, cells[2].WorstCaseJ)
+		}
+	}
+}
+
+// TestMulticoreBatteryDeterminism: the JSON artifact must be
+// byte-identical between a serial and a parallel harness run.
+func TestMulticoreBatteryDeterminism(t *testing.T) {
+	render := func(parallelism int) []byte {
+		o := quickOpts()
+		o.Ops = 400
+		o.Parallelism = parallelism
+		grid, _, err := MulticoreBattery(o, []int{1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := grid.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("battery grid differs between serial and parallel runs:\n%s\n---\n%s", serial, parallel)
+	}
+}

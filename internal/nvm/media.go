@@ -45,6 +45,19 @@ type MediaStats struct {
 	Faults        fault.Counts
 }
 
+// Add accumulates another controller's counters into s — the cross-core
+// aggregation engine.System uses to report whole-socket media activity
+// over per-core memory-channel shards.
+func (s *MediaStats) Add(o MediaStats) {
+	s.WriteRetries += o.WriteRetries
+	s.Remaps += o.Remaps
+	s.BackoffCycles += o.BackoffCycles
+	s.BadBlocks += o.BadBlocks
+	s.Faults.WriteFails += o.Faults.WriteFails
+	s.Faults.TornWrites += o.Faults.TornWrites
+	s.Faults.RotFlips += o.Faults.RotFlips
+}
+
 // MediaStats returns the controller's degraded-mode counters.
 func (c *Controller) MediaStats() MediaStats {
 	s := c.media

@@ -60,6 +60,10 @@ type Buffer[E any] struct {
 	allocs uint64
 	writes uint64
 	drains uint64
+	// peak is the high-water occupancy (entries resident at once) over
+	// the buffer's lifetime — the measured battery exposure a multi-core
+	// sizing study compares against the all-slots-full worst case.
+	peak int
 	// Writes-per-drained-entry accumulators (NWPE). The per-drain sample
 	// list this replaces grew without bound and was only ever averaged.
 	drainWriteSum uint64
@@ -187,6 +191,16 @@ func New[E any](capacity int, hiFrac, loFrac float64) (*Buffer[E], error) {
 // Len returns the number of occupied entries.
 func (b *Buffer[E]) Len() int { return b.idx.n }
 
+// PeakLen returns the buffer's high-water occupancy: the most entries
+// ever resident at once (battery-sizing studies compare this measured
+// exposure against the all-slots-full worst case).
+func (b *Buffer[E]) PeakLen() int {
+	if b.idx.n > b.peak {
+		return b.idx.n
+	}
+	return b.peak
+}
+
 // Capacity returns the configured entry count.
 func (b *Buffer[E]) Capacity() int { return b.capacity }
 
@@ -292,6 +306,9 @@ func (b *Buffer[E]) Insert(e *Entry[E]) error {
 // a bounded footprint: at steady state the same backing array is reused
 // forever.
 func (b *Buffer[E]) fifoPush(block addr.Block) {
+	if b.idx.n > b.peak {
+		b.peak = b.idx.n
+	}
 	if b.fifoHead > 0 && b.fifoHead*2 >= len(b.fifo) {
 		n := copy(b.fifo, b.fifo[b.fifoHead:])
 		b.fifo = b.fifo[:n]

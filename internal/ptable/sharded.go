@@ -1,0 +1,127 @@
+package ptable
+
+import (
+	"sort"
+	"sync"
+)
+
+// shardCount is the number of lock stripes in a Sharded table. 64 keeps
+// the stripe array small (one cache line of mutex state per stripe is
+// amortized across the whole simulation) while making same-stripe
+// collisions between a handful of concurrently stepping cores rare.
+const shardCount = 64
+
+// Sharded is a Table variant safe for concurrent use, striped into
+// shardCount independently locked sub-tables by the low bits of the key
+// (neighbouring blocks land on different stripes, so a multi-core burst
+// over one region fans out across locks instead of convoying on one).
+//
+// It exists for state that genuinely is shared between concurrently
+// stepping cores — the coherent shared-region view of engine.System —
+// where the plain Table's directory-growth reallocation would race.
+// Readers take a stripe RLock; the common multi-core phase (cores
+// reading a frozen shared region in parallel, mutations only at
+// serialized drain-epoch barriers) therefore never blocks.
+type Sharded[T any] struct {
+	shards [shardCount]struct {
+		mu sync.RWMutex
+		t  *Table[T]
+	}
+}
+
+// NewSharded returns an empty sharded table.
+func NewSharded[T any]() *Sharded[T] {
+	s := &Sharded[T]{}
+	for i := range s.shards {
+		s.shards[i].t = New[T]()
+	}
+	return s
+}
+
+func (s *Sharded[T]) shard(idx uint64) (*sync.RWMutex, *Table[T], uint64) {
+	sh := &s.shards[idx%shardCount]
+	return &sh.mu, sh.t, idx / shardCount
+}
+
+// Lookup returns the value stored at idx, copied out under the stripe
+// read lock, and whether the key is present. (A pointer into the table
+// would escape the lock; concurrent callers get values.)
+func (s *Sharded[T]) Lookup(idx uint64) (T, bool) {
+	mu, t, sub := s.shard(idx)
+	mu.RLock()
+	defer mu.RUnlock()
+	if p := t.Lookup(sub); p != nil {
+		return *p, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Contains reports whether idx is present.
+func (s *Sharded[T]) Contains(idx uint64) bool {
+	mu, t, sub := s.shard(idx)
+	mu.RLock()
+	defer mu.RUnlock()
+	return t.Lookup(sub) != nil
+}
+
+// Put stores v at idx under the stripe write lock.
+func (s *Sharded[T]) Put(idx uint64, v T) {
+	mu, t, sub := s.shard(idx)
+	mu.Lock()
+	defer mu.Unlock()
+	p, _ := t.GetOrCreate(sub)
+	*p = v
+}
+
+// Update applies fn to the value at idx (zero value if absent) under the
+// stripe write lock and stores the result.
+func (s *Sharded[T]) Update(idx uint64, fn func(*T)) {
+	mu, t, sub := s.shard(idx)
+	mu.Lock()
+	defer mu.Unlock()
+	p, _ := t.GetOrCreate(sub)
+	fn(p)
+}
+
+// Len returns the total number of keys across all stripes.
+func (s *Sharded[T]) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += s.shards[i].t.Len()
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Keys returns every key in ascending order (deterministic regardless of
+// which stripes the keys live on or how they were inserted).
+func (s *Sharded[T]) Keys() []uint64 {
+	var out []uint64
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		for _, sub := range s.shards[i].t.Keys() {
+			out = append(out, sub*shardCount+uint64(i))
+		}
+		s.shards[i].mu.RUnlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Range calls fn for every (key, value) pair in ascending key order.
+// The whole iteration runs under stripe read locks taken one at a time
+// during key collection; values are copied out per call, so fn may call
+// back into the table.
+func (s *Sharded[T]) Range(fn func(idx uint64, v T) bool) {
+	for _, k := range s.Keys() {
+		v, ok := s.Lookup(k)
+		if !ok {
+			continue
+		}
+		if !fn(k, v) {
+			return
+		}
+	}
+}

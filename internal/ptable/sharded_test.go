@@ -1,0 +1,88 @@
+package ptable
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestShardedBasic checks lookup/put/len/keys against a map model over a
+// key mix spanning every stripe and the overflow region of the backing
+// tables.
+func TestShardedBasic(t *testing.T) {
+	s := NewSharded[uint64]()
+	model := map[uint64]uint64{}
+	keys := []uint64{0, 1, 63, 64, 65, 511, 512, 1 << 20, 1<<34 + 17, 1<<40 + 63}
+	for i, k := range keys {
+		v := uint64(i)*1000 + 7
+		s.Put(k, v)
+		model[k] = v
+	}
+	s.Update(keys[3], func(p *uint64) { *p += 5 })
+	model[keys[3]] += 5
+
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(model))
+	}
+	for k, want := range model {
+		got, ok := s.Lookup(k)
+		if !ok || got != want {
+			t.Fatalf("Lookup(%d) = %d,%v want %d", k, got, ok, want)
+		}
+	}
+	if _, ok := s.Lookup(999999); ok {
+		t.Fatalf("Lookup of absent key reported present")
+	}
+
+	ks := s.Keys()
+	if len(ks) != len(model) {
+		t.Fatalf("Keys len = %d, want %d", len(ks), len(model))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatalf("Keys not strictly ascending at %d: %d >= %d", i, ks[i-1], ks[i])
+		}
+	}
+	seen := 0
+	s.Range(func(idx uint64, v uint64) bool {
+		if model[idx] != v {
+			t.Fatalf("Range(%d) = %d, want %d", idx, v, model[idx])
+		}
+		seen++
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("Range visited %d keys, want %d", seen, len(model))
+	}
+}
+
+// TestShardedConcurrent hammers disjoint per-goroutine key ranges plus a
+// shared read set from many goroutines; run under -race this is the
+// stripe-lock correctness check.
+func TestShardedConcurrent(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	s := NewSharded[uint64]()
+	for k := uint64(0); k < 256; k++ {
+		s.Put(k, k)
+	}
+	var wg sync.WaitGroup
+	const writers = 8
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w uint64) {
+			defer wg.Done()
+			base := (w + 1) << 32
+			for i := uint64(0); i < 2000; i++ {
+				s.Put(base+i, w)
+				if v, ok := s.Lookup(i % 256); !ok || v != i%256 {
+					t.Errorf("shared read %d corrupted: %d,%v", i%256, v, ok)
+					return
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if want := 256 + writers*2000; s.Len() != want {
+		t.Fatalf("Len = %d, want %d", s.Len(), want)
+	}
+}

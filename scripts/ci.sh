@@ -52,7 +52,7 @@ echo "table4 identical: serial/-memo=false vs parallel/memoized"
 # ... and across the parallel-data-plane knobs: sweep workers and MAC
 # lane width are wall-clock strategies, never allowed to leak into the
 # artifact bytes.
-for knobs in "-parallel 4 -sweepworkers 4 -lanes 4" "-parallel 8 -sweepworkers 8 -lanes 2"; do
+for knobs in "-parallel 4 -sweepworkers 4 -lanes 4" "-parallel 8 -sweepworkers 8 -lanes 2" "-parallel 4 -cores 1"; do
     # shellcheck disable=SC2086
     "$tmp/secpb-bench" -exp table4 -ops 5000 $knobs \
         > "$tmp/table4_knobs.txt" 2>&1
@@ -61,7 +61,28 @@ for knobs in "-parallel 4 -sweepworkers 4 -lanes 4" "-parallel 8 -sweepworkers 8
         exit 1
     fi
 done
-echo "table4 identical across sweep-worker and MAC-lane settings"
+echo "table4 identical across sweep-worker, MAC-lane and -cores settings"
+
+# Multi-core smoke, race-clean: the cores=2 exhaustive crash matrix with
+# both negative drain/merge-order controls, the cross-core fault sweep,
+# and the serial-vs-parallel core-stepping identity.
+go test -race \
+    -run 'TestSystemMatrixExhaustive|TestSystemNegativePermuted|TestSystemFaultSweep|TestSystemSerialParallelIdentity|TestSystemSingleCore|TestDrainSystem' \
+    ./internal/engine/ ./internal/crashsim/ ./internal/recovery/
+
+# Multi-core determinism gate: the battery-sizing grid must be
+# byte-identical between a serial unmemoized run and a parallel run with
+# every data-plane knob turned — core stepping, sweep workers, MAC lanes
+# and the cell memo are all wall-clock strategies, never artifact bits.
+"$tmp/secpb-bench" -exp multicore -ops 2000 -cores 1,2,4 -parallel 1 -memo=false \
+    > "$tmp/multicore_serial.txt" 2>&1
+"$tmp/secpb-bench" -exp multicore -ops 2000 -cores 1,2,4 -parallel 8 -sweepworkers 4 -lanes 4 \
+    > "$tmp/multicore_knobs.txt" 2>&1
+if ! diff -q "$tmp/multicore_serial.txt" "$tmp/multicore_knobs.txt"; then
+    echo "ERROR: multicore battery grid differs between serial and knobbed parallel runs" >&2
+    exit 1
+fi
+echo "multicore battery grid identical: serial vs parallel/knobbed"
 
 # Crash-matrix smoke: every SecPB scheme survives a fixed-seed set of
 # injected power failures on a short trace, recovering byte-identically

@@ -7,7 +7,11 @@
 #   3. serial vs parallel table4 sweep wall-clock, with an output
 #      byte-identity check across parallelism levels,
 #   4. memoized vs unmemoized -exp all wall-clock, with a byte-identity
-#      check between the two.
+#      check between the two,
+#   5. multi-core sharded stepping (BENCH_PR7.json): per-core-op cost as
+#      the socket scales, the scheme x {1,8,64,256}-core battery grid
+#      wall-clock, and a byte-identity check of the grid between a serial
+#      run and a knobbed parallel run.
 #
 # Run on an idle machine; results land in /tmp/secpb-perf/. The JSON in
 # BENCH_PR1.json is assembled by hand from these outputs together with a
@@ -79,3 +83,33 @@ else
     exit 1
 fi
 cat "$out/timing_memo.json"
+
+echo "== multi-core sharded stepping =="
+# Per-core-op cost as the socket scales: each core steps its own
+# memory-channel shard between drain-epoch barriers, so total work grows
+# linearly with the core count and the ns/op column divided by the core
+# count exposes the sharding overhead. On 1-CPU hosts the parallel core
+# stepping serializes (GOMAXPROCS=1), so this measures the serial epoch
+# scheduler; byte-identity across worker counts is gated by
+# TestSystemSerialParallelIdentity (forced GOMAXPROCS(4), in ci.sh under
+# -race). Record GOMAXPROCS next to these numbers and re-run on a
+# multi-core host for the wall-clock scaling curve in BENCH_PR7.json.
+go test -bench 'BenchmarkSystemStep' -benchtime 2s -run '^$' \
+    ./internal/engine/ | tee "$out/bench_system.txt"
+
+# The battery-sizing grid end to end at paper scale (schemes x
+# {1,8,64,256} cores), timed, then byte-diffed between a serial
+# unmemoized run and a fully-knobbed parallel run.
+"$out/secpb-bench" -exp multicore -ops 5000 -cores 1,8,64,256 -json \
+    -parallel 1 -memo=false -timing "$out/timing_multicore.json" \
+    > "$out/multicore_serial.json" 2>/dev/null
+"$out/secpb-bench" -exp multicore -ops 5000 -cores 1,8,64,256 -json \
+    -parallel 8 -sweepworkers 4 -lanes 4 \
+    > "$out/multicore_knobs.json" 2>/dev/null
+if diff -q "$out/multicore_serial.json" "$out/multicore_knobs.json" > /dev/null; then
+    echo "multicore battery grid identical: serial vs parallel/knobbed"
+else
+    echo "ERROR: multicore grid differs between serial and knobbed runs" >&2
+    exit 1
+fi
+cat "$out/timing_multicore.json"
