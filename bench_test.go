@@ -408,16 +408,23 @@ func BenchmarkPTableVsMap(b *testing.B) {
 	})
 }
 
-// BenchmarkRunBatchVsRun compares a full simulation driven through the
-// scalar Source loop against the columnar batched replay on the same
-// generated stream.
+// BenchmarkRunBatchVsRun compares the two replay dispatch strategies on
+// the same generated stream: "scalar" drives the generic per-op step
+// loop (the differential oracle, kernels pinned off), "batched" and
+// "batched-pre" drive the columnar batch replay with the specialized
+// kernels pinned on. The workload is replay-bound by design — povray's
+// small hot working set keeps the stream in the modeled caches, so the
+// comparison measures dispatch (per-op interface calls, validation,
+// branch resolution) rather than the shared miss/crypto simulation
+// work that dominates miss-bound or MAC-bound profiles and is
+// identical code in both paths.
 func BenchmarkRunBatchVsRun(b *testing.B) {
-	prof, err := workload.ByName("gcc")
+	prof, err := workload.ByName("povray")
 	if err != nil {
 		b.Fatal(err)
 	}
 	cfg := config.Default().WithScheme(config.SchemeCOBCM)
-	const nops = 10_000
+	const nops = 50_000
 	b.Run("scalar", func(b *testing.B) {
 		ops, err := workload.Generate(prof, cfg.Seed, nops)
 		if err != nil {
@@ -430,6 +437,7 @@ func BenchmarkRunBatchVsRun(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			eng.SetKernels(false)
 			if err := eng.Run(trace.NewSliceSource(ops)); err != nil {
 				b.Fatal(err)
 			}
@@ -447,6 +455,7 @@ func BenchmarkRunBatchVsRun(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			eng.SetKernels(true)
 			if err := eng.Run(gen); err != nil { // dispatches to RunBatch
 				b.Fatal(err)
 			}
@@ -468,6 +477,7 @@ func BenchmarkRunBatchVsRun(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			eng.SetKernels(true)
 			src.Reset()
 			if err := eng.RunBatch(src); err != nil {
 				b.Fatal(err)

@@ -25,6 +25,7 @@ import (
 	"secpb/internal/bmt"
 	"secpb/internal/config"
 	"secpb/internal/crypto"
+	"secpb/internal/engine"
 	"secpb/internal/harness"
 	"secpb/internal/runner"
 )
@@ -68,6 +69,8 @@ func benchMain() int {
 		sweepW   = flag.Int("sweepworkers", 0, "pin the BMT sweep worker count (0 = auto, 1 = serial); output is identical at any count")
 		cores    = flag.String("cores", "", "comma list of core counts for the multicore battery grid (default 1,8,64,256); cores=1 artifacts are byte-identical to the single-core path")
 		memo     = flag.Bool("memo", true, "cache simulation cells by content so overlapping experiment grids simulate each unique (config, benchmark, ops) cell once; output is identical either way")
+		memodir  = flag.String("memodir", "", "persist the cell cache in this directory: warm re-runs replay cached cells instead of simulating (records are content-keyed, version-stamped and checksummed; anything stale or corrupt is recomputed); output is identical either way")
+		kernels  = flag.Bool("kernels", true, "use the scheme-specialized execution kernels for the per-op hot path; output is identical either way")
 		verbose  = flag.Bool("v", false, "print per-simulation progress")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of rendered text")
 		timing   = flag.String("timing", "", "write per-experiment wall-clock timings as JSON to this file")
@@ -109,6 +112,7 @@ func benchMain() int {
 	// wall-clock strategy only — artifacts are identical at any setting.
 	crypto.SetDefaultLanes(*lanes)
 	bmt.SetDefaultSweepWorkers(*sweepW)
+	engine.SetDefaultKernels(*kernels)
 
 	gridCores, err := parseCores(*cores)
 	if err != nil {
@@ -125,6 +129,27 @@ func benchMain() int {
 	opt.Parallelism = *parallel
 	if *memo {
 		opt.Memo = harness.NewCellMemo()
+	}
+	var cellStore *harness.DiskCellStore
+	var batteryStore *harness.DiskBatteryStore
+	if *memodir != "" {
+		if opt.Memo == nil {
+			fmt.Fprintln(os.Stderr, "secpb-bench: -memodir requires -memo=true")
+			return 2
+		}
+		cellStore, err = harness.NewDiskCellStore(*memodir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secpb-bench: -memodir: %v\n", err)
+			return 1
+		}
+		opt.Memo.SetStore(cellStore)
+		batteryStore, err = harness.NewDiskBatteryStore(*memodir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secpb-bench: -memodir: %v\n", err)
+			return 1
+		}
+		opt.Battery = harness.NewBatteryMemo()
+		opt.Battery.SetStore(batteryStore)
 	}
 	if *benches != "" {
 		opt.Benchmarks = strings.Split(*benches, ",")
@@ -247,6 +272,12 @@ func benchMain() int {
 		hits, misses := opt.Memo.Stats()
 		fmt.Fprintf(os.Stderr, "memo: %d unique cells simulated, %d duplicate cells reused\n", misses, hits)
 	}
+	if *verbose && cellStore != nil {
+		cs, bs := cellStore.Stats(), batteryStore.Stats()
+		fmt.Fprintf(os.Stderr,
+			"memodir: %d cells replayed from disk, %d simulated and saved, %d corrupt records recomputed\n",
+			cs.Hits+bs.Hits, cs.Saves+bs.Saves, cs.Corrupt+bs.Corrupt)
+	}
 	if *timing != "" {
 		workers := *parallel
 		if workers <= 0 {
@@ -265,6 +296,13 @@ func benchMain() int {
 			hits, misses := opt.Memo.Stats()
 			report["memo_hits"] = hits
 			report["memo_misses"] = misses
+		}
+		report["kernels"] = *kernels
+		if cellStore != nil {
+			cs, bs := cellStore.Stats(), batteryStore.Stats()
+			report["disk_hits"] = cs.Hits + bs.Hits
+			report["disk_saves"] = cs.Saves + bs.Saves
+			report["disk_corrupt"] = cs.Corrupt + bs.Corrupt
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err == nil {

@@ -22,6 +22,7 @@ import (
 
 	"secpb/internal/config"
 	"secpb/internal/crashsim"
+	"secpb/internal/engine"
 )
 
 func main() {
@@ -33,9 +34,11 @@ func main() {
 		points     = flag.Int("points", 200, "crash points sampled per cell (0 = exhaustive)")
 		entries    = flag.Int("secpb", 0, "SecPB entries (0 = config default)")
 		workers    = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+		kernels    = flag.Bool("kernels", true, "use the scheme-specialized execution kernels where they engage (healthy replay phases); output is identical either way")
 		out        = flag.String("out", "", "write the JSON crash-matrix artifact to this file")
 	)
 	flag.Parse()
+	engine.SetDefaultKernels(*kernels)
 
 	var schemes []config.Scheme
 	if *schemesStr != "all" {

@@ -54,6 +54,17 @@ func (b Block) MACLine() uint64 { return b.Index() / MACsPerLine }
 // MACOffset returns the slot within the MAC line.
 func (b Block) MACOffset() int { return int(b.Index() % MACsPerLine) }
 
+// AppendBlocks bulk-decomposes a column of byte addresses into their
+// containing blocks, appending to dst and returning it. The engine's
+// columnar batch replay decomposes a whole trace.Batch in one pass
+// (reusing dst's backing array across batches) instead of per op.
+func AppendBlocks(dst []Block, byteAddrs []uint64) []Block {
+	for _, a := range byteAddrs {
+		dst = append(dst, Block(a&^(BlockBytes-1)))
+	}
+	return dst
+}
+
 // Aligned reports whether a byte address is block aligned.
 func Aligned(byteAddr uint64) bool { return byteAddr&(BlockBytes-1) == 0 }
 

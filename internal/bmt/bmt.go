@@ -159,8 +159,22 @@ func (t *Tree) node(level int, idx uint64) Digest {
 // hashChildren hashes the Arity children of parentIdx, whose children
 // live at childLevel, taking stored values or level defaults.
 func (t *Tree) hashChildren(parentIdx uint64, childLevel int) Digest {
+	base := parentIdx * Arity
+	if vals, present, ok := t.levels[childLevel].Octet(base); ok {
+		// One directory walk covers all eight children (the range is
+		// 8-aligned); absent bits take the level default.
+		def := &t.defaults[childLevel]
+		for i := 0; i < Arity; i++ {
+			src := def
+			if present&(1<<i) != 0 {
+				src = &vals[i]
+			}
+			copy(t.nodeBuf[i*DigestSize:], src[:])
+		}
+		return truncate(t.h.HashNode(t.nodeBuf[:]))
+	}
 	for i := uint64(0); i < Arity; i++ {
-		c := t.node(childLevel, parentIdx*Arity+i)
+		c := t.node(childLevel, base+i)
 		copy(t.nodeBuf[i*DigestSize:], c[:])
 	}
 	return truncate(t.h.HashNode(t.nodeBuf[:]))

@@ -216,6 +216,42 @@ func (s *SecPB) AcceptStoreInit(asid uint16, b addr.Block, off, size int, val ui
 	return s.acceptEntry(entry, allocated, b, cost)
 }
 
+// CoalesceStore is the engine kernel's fast path for a store whose
+// block already has a resident entry: the coalescing write plus the
+// scheme's per-store (data-value-dependent) early work, with none of
+// the allocation path's AcceptCost bookkeeping. It reports found=false
+// — with no side effects — when the block has no resident entry, when
+// the write is invalid, or under the DVI-coalescing ablation (which
+// redoes per-entry work on every store); the caller then falls back to
+// AcceptStoreInit, which re-checks everything and reports errors.
+// xored/maced mirror AcceptCost.CipherXOR/MACGenerated for timing.
+func (s *SecPB) CoalesceStore(b addr.Block, off, size int, val uint64) (found, xored, maced bool) {
+	if s.cfg.DisableDVICoalescing {
+		return false, false, false
+	}
+	e := s.buf.CoalesceWrite(b, off, size, val)
+	if e == nil {
+		return false, false, false
+	}
+	s.stores++
+	if s.scheme == config.SchemeBBB {
+		return true, false, false
+	}
+	if s.early.Ciphertext && e.Ext.OTPValid {
+		crypto.XOR(&e.Ext.Cipher, &e.Data, &e.Ext.OTP)
+		e.Ext.CipherValid = true
+		s.earlyXOR++
+		xored = true
+	}
+	if s.early.MAC && e.Ext.CipherValid {
+		s.mc.MakeMACInto(&e.Ext.MAC, b, &e.Ext.Cipher, e.Ext.Counter)
+		e.Ext.MACValid = true
+		s.earlyMAC++
+		maced = true
+	}
+	return true, xored, maced
+}
+
 // acceptEntry performs the scheme's early security-metadata work for a
 // store just coalesced into entry, filling *cost.
 func (s *SecPB) acceptEntry(entry *Entry, allocated bool, b addr.Block, cost *AcceptCost) error {

@@ -138,9 +138,7 @@ func (f *fastHasher) oneBlock(mid []byte, tail []byte, out *[Size512]byte) bool 
 	}
 	n := copy(f.final[:], tail)
 	f.final[n] = 0x80
-	for i := n + 1; i < BlockBytes-8; i++ {
-		f.final[i] = 0
-	}
+	clear(f.final[n+1 : BlockBytes-8])
 	binary.BigEndian.PutUint64(f.final[BlockBytes-8:], uint64(BlockBytes+n)*8)
 	if err := f.d.UnmarshalBinary(mid); err != nil {
 		return false

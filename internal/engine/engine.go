@@ -40,6 +40,20 @@ type Engine struct {
 	hier *mem.Hierarchy
 	sb   *mem.StoreBuffer
 
+	// Specialized step kernel (see kernel.go): kern holds the
+	// preresolved per-scheme constants and dispatch class, kernEnabled
+	// the engine's pin (seeded from the package default), l1 the cached
+	// L1 pointer the hot probes use, and blockCol the batch replay
+	// loop's reusable bulk-decomposed block column.
+	kern        kernel
+	kernEnabled bool
+	l1          *mem.Cache
+	blockCol    []addr.Block
+	// lastStoreBlock/lastStoreBlk memoize the kernel store path's most
+	// recent memory-image lookup (ptable pointers are stable).
+	lastStoreBlock addr.Block
+	lastStoreBlk   *[addr.BlockBytes]byte
+
 	// memory is the program's plaintext view of every written block —
 	// the reference the crash observer compares recovery against, and
 	// the source of initial contents for PB allocations. It is a paged
@@ -123,6 +137,8 @@ func New(cfg config.Config, prof workload.Profile, key []byte) (*Engine, error) 
 		}
 		e.spb = spb
 	}
+	e.kernEnabled = DefaultKernels()
+	e.refreshKernel()
 	return e, nil
 }
 
@@ -171,6 +187,10 @@ func (e *Engine) SetCrashSink(s crashpoint.Sink) {
 		e.spb.SetCrashSink(s)
 	}
 	e.mc.SetCrashSink(s)
+	// Crash points fire from inside the generic accept path; the
+	// specialized kernel disengages while a sink is installed and
+	// re-engages when it is removed.
+	e.refreshKernel()
 }
 
 // advance adds non-memory instruction time: gap instructions plus the
@@ -183,7 +203,11 @@ func (e *Engine) advance(gap uint32) {
 	} else {
 		e.fracCPI += float64(n) * e.prof.NonMemCPI
 	}
-	whole := uint64(e.fracCPI)
+	// Convert through int64: the accumulator is a handful of op-CPIs
+	// (nowhere near 2^63), and the signed truncation compiles to one
+	// instruction on amd64 where the unsigned form is a branchy
+	// sequence. The value — and so the cycle trajectory — is identical.
+	whole := uint64(int64(e.fracCPI))
 	e.fracCPI -= float64(whole)
 	e.now += whole
 }
@@ -202,8 +226,15 @@ func (e *Engine) step(op trace.Op) error {
 	e.advance(op.Gap)
 	switch op.Kind {
 	case trace.Load:
+		if e.kern.class == kcSecPB {
+			e.loadFast(op.Addr)
+			return nil
+		}
 		e.doLoad(op)
 	case trace.Store:
+		if e.kern.class == kcSecPB {
+			return e.storeFast(op.Addr, op.Size, op.Data)
+		}
 		if err := e.doStore(op); err != nil {
 			return err
 		}
@@ -254,8 +285,25 @@ func (e *Engine) RunBatch(src trace.BatchSource) error {
 	if !src.NextBatch(cur) {
 		return e.finishRun()
 	}
-	next := trace.NewBatch(trace.DefaultBatchCap)
 	pf := e.newOTPPrefetcher()
+	if pf == nil {
+		// Single-buffered replay: without the pad pipeline there is
+		// nothing to overlap, so skip the second batch and its refill
+		// hand-off entirely.
+		for {
+			if err := cur.Validate(); err != nil {
+				return err
+			}
+			if err := e.replayBatch(cur); err != nil {
+				return err
+			}
+			if !src.NextBatch(cur) {
+				break
+			}
+		}
+		return e.finishRun()
+	}
+	next := trace.NewBatch(trace.DefaultBatchCap)
 	for {
 		if err := cur.Validate(); err != nil {
 			return err
@@ -264,11 +312,9 @@ func (e *Engine) RunBatch(src trace.BatchSource) error {
 		if more && pf != nil {
 			pf.launch(next)
 		}
-		for i, n := 0, cur.Len(); i < n; i++ {
-			if err := e.step(cur.Op(i)); err != nil {
-				pf.drain()
-				return err
-			}
+		if err := e.replayBatch(cur); err != nil {
+			pf.drain()
+			return err
 		}
 		if more && pf != nil {
 			pf.install(e.mc)
@@ -508,30 +554,10 @@ func (e *Engine) doStore(op trace.Op) error {
 	e.pbPortFree = unblock
 	e.lastUnblock = unblock
 
-	// The core proceeds unless the store buffer is full.
+	// The core proceeds unless the store buffer is full; then the
+	// shared watermark-drain epilogue.
 	e.now = e.sb.Push(e.now, unblock)
-
-	// Watermark draining.
-	if e.spb.AboveHigh() {
-		e.draining = true
-	}
-	drained := false
-	for e.draining && e.spb.AboveLow() {
-		if err := e.scheduleDrain(e.now); err != nil {
-			return err
-		}
-		drained = true
-	}
-	if !e.spb.AboveLow() {
-		e.draining = false
-	}
-	if drained {
-		// The drain burst is one epoch: commit its staged BMT walks with
-		// a single coalesced sweep (timing/Cost accounting is unchanged —
-		// the sweep only affects host wall-clock).
-		e.mc.CompleteSweep()
-	}
-	return nil
+	return e.storeDrainTail()
 }
 
 // doStoreSP models the SP baseline: every store streams through the

@@ -1,0 +1,310 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"secpb/internal/addr"
+	"secpb/internal/config"
+	"secpb/internal/crashpoint"
+	"secpb/internal/trace"
+	"secpb/internal/workload"
+)
+
+// nopSink is a do-nothing crash sink: installing any sink must force
+// the engine back onto the generic path.
+type nopSink struct{}
+
+func (nopSink) CrashPoint(crashpoint.Kind, addr.Block) {}
+
+// runWith builds an engine with the kernel pinned on or off, replays
+// the deterministic workload stream, and returns the result plus the
+// functional memory image. The generic interpreter is the differential
+// oracle: every assertion in this file is "kernel ≡ generic".
+func runWith(t *testing.T, cfg config.Config, prof workload.Profile, ops uint64, kernels bool) (Result, map[string]any) {
+	t.Helper()
+	eng, err := New(cfg, prof, []byte("secpb-experiment-key"))
+	if err != nil {
+		t.Fatalf("New(%v): %v", cfg.Scheme, err)
+	}
+	eng.SetKernels(kernels)
+	if kernels && cfg.Scheme != config.SchemeSP && !cfg.DisableDVICoalescing && !eng.Kernelized() {
+		t.Fatalf("kernel did not engage for eligible scheme %v", cfg.Scheme)
+	}
+	if !kernels && eng.Kernelized() {
+		t.Fatalf("kernel engaged despite SetKernels(false)")
+	}
+	gen, err := workload.NewGenerator(prof, cfg.Seed, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(gen); err != nil {
+		t.Fatalf("Run(%v, kernels=%v): %v", cfg.Scheme, kernels, err)
+	}
+	state := map[string]any{
+		"memory":    eng.Memory(),
+		"occupancy": eng.Occupancy(),
+		"peak":      eng.PeakOccupancy(),
+	}
+	return eng.Collect(), state
+}
+
+// TestKernelMatchesGeneric replays every scheme (and the knob variants
+// that change the kernel's shape) through the specialized kernel and
+// the generic interpreter and requires bit-identical results and
+// functional state.
+func TestKernelMatchesGeneric(t *testing.T) {
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof2, err := workload.ByName("gamess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := config.Default()
+	variants := map[string]func(config.Config) config.Config{
+		"default": func(c config.Config) config.Config { return c },
+		"blocking-verify": func(c config.Config) config.Config {
+			c.Speculative = false
+			return c
+		},
+		"tiny-secpb": func(c config.Config) config.Config {
+			return c.WithSecPBEntries(4) // forces the backflow path
+		},
+		"no-dvi": func(c config.Config) config.Config {
+			c.DisableDVICoalescing = true // kernel must stand down
+			return c
+		},
+	}
+	for _, scheme := range config.AllSchemes() {
+		for name, mut := range variants {
+			cfg := mut(base.WithScheme(scheme))
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("%v/%s: %v", scheme, name, err)
+			}
+			for _, p := range []workload.Profile{prof, prof2} {
+				kres, kstate := runWith(t, cfg, p, 4000, true)
+				gres, gstate := runWith(t, cfg, p, 4000, false)
+				if !reflect.DeepEqual(kres, gres) {
+					t.Errorf("%v/%s/%s: kernel result differs\nkernel:  %+v\ngeneric: %+v",
+						scheme, name, p.Name, kres, gres)
+				}
+				if !reflect.DeepEqual(kstate, gstate) {
+					t.Errorf("%v/%s/%s: kernel functional state differs", scheme, name, p.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelBatchMatchesScalarStep replays the same op stream through
+// the columnar batch path and the per-op Step path, both kernelized,
+// and requires identical results — the batch loop's block column, the
+// inlined CPI accumulation and the staged L1 probes are wall-clock
+// strategies, never result bits.
+func TestKernelBatchMatchesScalarStep(t *testing.T) {
+	prof, err := workload.ByName("povray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range config.SecPBSchemes() {
+		cfg := config.Default().WithScheme(scheme)
+		gen, err := workload.NewGenerator(prof, cfg.Seed, 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ops []trace.Op
+		for {
+			op, ok := gen.Next()
+			if !ok {
+				break
+			}
+			ops = append(ops, op)
+		}
+
+		scalar, err := New(cfg, prof, []byte("k"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar.SetKernels(true)
+		for _, op := range ops {
+			if err := scalar.Step(op); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := scalar.Finish(); err != nil {
+			t.Fatal(err)
+		}
+
+		batched, err := New(cfg, prof, []byte("k"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched.SetKernels(true)
+		if err := batched.RunBatch(trace.NewSliceBatchSource(ops)); err != nil {
+			t.Fatal(err)
+		}
+
+		sres, bres := scalar.Collect(), batched.Collect()
+		if !reflect.DeepEqual(sres, bres) {
+			t.Errorf("%v: batch replay differs from scalar Step\nscalar: %+v\nbatch:  %+v", scheme, sres, bres)
+		}
+		if !reflect.DeepEqual(scalar.Memory(), batched.Memory()) {
+			t.Errorf("%v: batch replay memory image differs", scheme)
+		}
+	}
+}
+
+// TestKernelDisengagesUnderSink asserts the specialized kernel stands
+// down while a crash sink is installed (crash points fire from the
+// generic accept path) and re-engages when it is removed.
+func TestKernelDisengagesUnderSink(t *testing.T) {
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	eng, err := New(cfg, prof, []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetKernels(true)
+	if !eng.Kernelized() {
+		t.Fatal("kernel should engage by default config")
+	}
+	eng.SetCrashSink(nopSink{})
+	if eng.Kernelized() {
+		t.Fatal("kernel must disengage while a crash sink is installed")
+	}
+	eng.SetCrashSink(nil)
+	if !eng.Kernelized() {
+		t.Fatal("kernel must re-engage once the sink is removed")
+	}
+}
+
+// TestSetDefaultKernels asserts the package default seeds new engines
+// and round-trips.
+func TestSetDefaultKernels(t *testing.T) {
+	orig := DefaultKernels()
+	defer SetDefaultKernels(orig)
+
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetDefaultKernels(false)
+	if DefaultKernels() {
+		t.Fatal("DefaultKernels should report false")
+	}
+	eng, err := New(config.Default(), prof, []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Kernelized() {
+		t.Fatal("engine built under SetDefaultKernels(false) must start generic")
+	}
+	SetDefaultKernels(true)
+	eng2, err := New(config.Default(), prof, []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng2.Kernelized() {
+		t.Fatal("engine built under SetDefaultKernels(true) must start kernelized")
+	}
+}
+
+// FuzzKernelVsGeneric decodes an arbitrary byte string into an op
+// stream and replays it through the kernel and the generic oracle,
+// requiring identical results, functional memory, and error outcomes.
+func FuzzKernelVsGeneric(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08}, uint8(7))
+	f.Add([]byte("secpb-kernel-differential-seed-corpus"), uint8(5))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xaa, 0x55, 0xaa, 0x55, 0x10, 0x42}, uint8(2))
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		f.Fatal(err)
+	}
+	schemes := config.SecPBSchemes()
+	f.Fuzz(func(t *testing.T, raw []byte, sel uint8) {
+		scheme := schemes[int(sel)%len(schemes)]
+		// Tiny buffer + blocking verification: exercises backflow,
+		// forced drains and the load integrity-check latency.
+		cfg := config.Default().WithScheme(scheme).WithSecPBEntries(8)
+		cfg.Speculative = sel%2 == 0
+		ops := decodeFuzzOps(raw)
+		if len(ops) == 0 {
+			return
+		}
+		run := func(kernels bool) (Result, map[any]any, error) {
+			eng, err := New(cfg, prof, []byte("k"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.SetKernels(kernels)
+			for _, op := range ops {
+				if err := eng.Step(op); err != nil {
+					return eng.Collect(), nil, err
+				}
+			}
+			if err := eng.Finish(); err != nil {
+				return eng.Collect(), nil, err
+			}
+			mem := make(map[any]any)
+			for b, data := range eng.Memory() {
+				mem[b] = data
+			}
+			return eng.Collect(), mem, nil
+		}
+		kres, kmem, kerr := run(true)
+		gres, gmem, gerr := run(false)
+		if (kerr == nil) != (gerr == nil) {
+			t.Fatalf("error divergence: kernel=%v generic=%v", kerr, gerr)
+		}
+		if kerr != nil {
+			if kerr.Error() != gerr.Error() {
+				t.Fatalf("error text divergence: kernel=%q generic=%q", kerr, gerr)
+			}
+			return
+		}
+		if !reflect.DeepEqual(kres, gres) {
+			t.Fatalf("result divergence\nkernel:  %+v\ngeneric: %+v", kres, gres)
+		}
+		if !reflect.DeepEqual(kmem, gmem) {
+			t.Fatalf("memory image divergence")
+		}
+	})
+}
+
+// decodeFuzzOps turns a fuzz input into a bounded well-formed op
+// stream: loads, stores of every size, and fences over a small working
+// set (to make coalescing, eviction and backflow all reachable).
+func decodeFuzzOps(raw []byte) []trace.Op {
+	var ops []trace.Op
+	for i := 0; i+2 < len(raw) && len(ops) < 512; i += 3 {
+		b0, b1, b2 := raw[i], raw[i+1], raw[i+2]
+		gap := uint32(b2 >> 5)
+		switch b0 % 8 {
+		case 0, 1, 2: // load
+			ops = append(ops, trace.Op{
+				Kind: trace.Load,
+				Addr: uint64(b1) << 3,
+				Size: 8,
+				Gap:  gap,
+			})
+		case 3: // fence
+			ops = append(ops, trace.Op{Kind: trace.Fence, Gap: gap})
+		default: // store, size 1/2/4/8, aligned to size
+			size := uint8(1) << (b2 & 3)
+			a := (uint64(b1) << 3) &^ (uint64(size) - 1)
+			ops = append(ops, trace.Op{
+				Kind: trace.Store,
+				Addr: a,
+				Size: size,
+				Data: uint64(b0)<<32 | uint64(b1)<<8 | uint64(b2),
+				Gap:  gap,
+			})
+		}
+	}
+	return ops
+}

@@ -7,6 +7,14 @@ import (
 	"secpb/internal/workload"
 )
 
+// ResultsVersion stamps persisted simulation results. Any change to
+// the Result fields, their semantics, or anything that alters modeled
+// numbers for the same inputs (cycle accounting, cache policy, crypto
+// schedule) must bump it: persistent caches embed the stamp in every
+// record and treat a mismatch as a miss, so stale results can never
+// leak into artifacts after the simulator changes underneath them.
+const ResultsVersion = "secpb-results-v1"
+
 // Result summarizes one simulation run.
 type Result struct {
 	Benchmark string

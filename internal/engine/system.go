@@ -418,15 +418,15 @@ func (s *System) CrashDrainAll() (int, error) {
 // throughput, coherence-protocol activity, and the battery-sizing
 // occupancy measurements.
 type MCResult struct {
-	Benchmark string         `json:"benchmark"`
-	Scheme    config.Scheme  `json:"scheme"`
-	Cores     int            `json:"cores"`
-	Cycles    uint64         `json:"cycles"` // makespan: max core clock
-	Instrs    uint64         `json:"instructions"`
-	Loads     uint64         `json:"loads"`
-	Stores    uint64         `json:"stores"`
-	AggIPC    float64        `json:"agg_ipc"` // total instrs / makespan
-	Epochs    uint64         `json:"epochs"`
+	Benchmark string        `json:"benchmark"`
+	Scheme    config.Scheme `json:"scheme"`
+	Cores     int           `json:"cores"`
+	Cycles    uint64        `json:"cycles"` // makespan: max core clock
+	Instrs    uint64        `json:"instructions"`
+	Loads     uint64        `json:"loads"`
+	Stores    uint64        `json:"stores"`
+	AggIPC    float64       `json:"agg_ipc"` // total instrs / makespan
+	Epochs    uint64        `json:"epochs"`
 
 	// Shared-region / MESI activity.
 	MESI        coherence.MESIStats `json:"mesi"`

@@ -57,6 +57,10 @@ type Options struct {
 	// concurrent duplicates collapse to a single simulation at any
 	// Parallelism setting.
 	Memo *CellMemo
+	// Battery, if non-nil, caches multicore battery-grid cells the
+	// same way Memo caches single-core simulation cells (the key
+	// already covers scheme and core count via the config hash).
+	Battery *BatteryMemo
 }
 
 // CellMemo is the result cache shared across experiments; see
@@ -65,6 +69,13 @@ type CellMemo = runner.Memo[CellKey, engine.Result]
 
 // NewCellMemo returns an empty experiment-cell cache.
 func NewCellMemo() *CellMemo { return runner.NewMemo[CellKey, engine.Result]() }
+
+// BatteryMemo caches multicore battery-sizing cells; see
+// Options.Battery.
+type BatteryMemo = runner.Memo[CellKey, BatteryCell]
+
+// NewBatteryMemo returns an empty battery-cell cache.
+func NewBatteryMemo() *BatteryMemo { return runner.NewMemo[CellKey, BatteryCell]() }
 
 // CellKey identifies one simulation cell by content.
 type CellKey [sha256.Size]byte

@@ -112,31 +112,46 @@ func MulticoreBattery(o Options, coreCounts []int) (*BatteryGrid, *stats.Table, 
 	var progressMu sync.Mutex
 	cells, err := runner.Map(o.Ctx, o.Parallelism, jobs, func(_ context.Context, _ int, j cellJob) (BatteryCell, error) {
 		cfg := o.Cfg.WithScheme(j.scheme).WithCores(j.cores)
-		res, err := engine.RunSystem(cfg, prof, o.Ops)
-		if err != nil {
-			return BatteryCell{}, fmt.Errorf("harness: %s x%d: %w", j.scheme, j.cores, err)
+		compute := func() (BatteryCell, error) {
+			res, err := engine.RunSystem(cfg, prof, o.Ops)
+			if err != nil {
+				return BatteryCell{}, fmt.Errorf("harness: %s x%d: %w", j.scheme, j.cores, err)
+			}
+			perBufJ, err := energy.SecPBEnergy(j.scheme, cfg.SecPBEntries, cfg.BMTLevels)
+			if err != nil {
+				return BatteryCell{}, err
+			}
+			perEntryJ, err := energy.PerEntryDrainJ(j.scheme, cfg.BMTLevels)
+			if err != nil {
+				return BatteryCell{}, err
+			}
+			worstJ := float64(batteryBuffers(j.cores)) * perBufJ
+			est := energy.EstimateFor(j.scheme.String(), worstJ)
+			return BatteryCell{
+				Scheme:      j.scheme.String(),
+				Cores:       j.cores,
+				WorstCaseJ:  worstJ,
+				MeasuredJ:   float64(res.PeakOccupancy) * perEntryJ,
+				PeakEntries: res.PeakOccupancy,
+				SuperCapMM3: est.SuperCapMM3,
+				LiThinMM3:   est.LiThinMM3,
+				AggIPC:      res.AggIPC,
+				Migrations:  res.Migrations,
+				ReadFlushes: res.ReadFlushes,
+			}, nil
 		}
-		perBufJ, err := energy.SecPBEnergy(j.scheme, cfg.SecPBEntries, cfg.BMTLevels)
+		var cell BatteryCell
+		var err error
+		if o.Battery != nil {
+			// The cell is a pure function of (cfg, profile, ops): cfg
+			// already encodes scheme and core count, so the simulation
+			// cell key covers the battery arithmetic too.
+			cell, _, err = o.Battery.Do(cellKey(cfg, prof, o.Ops), compute)
+		} else {
+			cell, err = compute()
+		}
 		if err != nil {
 			return BatteryCell{}, err
-		}
-		perEntryJ, err := energy.PerEntryDrainJ(j.scheme, cfg.BMTLevels)
-		if err != nil {
-			return BatteryCell{}, err
-		}
-		worstJ := float64(batteryBuffers(j.cores)) * perBufJ
-		est := energy.EstimateFor(j.scheme.String(), worstJ)
-		cell := BatteryCell{
-			Scheme:      j.scheme.String(),
-			Cores:       j.cores,
-			WorstCaseJ:  worstJ,
-			MeasuredJ:   float64(res.PeakOccupancy) * perEntryJ,
-			PeakEntries: res.PeakOccupancy,
-			SuperCapMM3: est.SuperCapMM3,
-			LiThinMM3:   est.LiThinMM3,
-			AggIPC:      res.AggIPC,
-			Migrations:  res.Migrations,
-			ReadFlushes: res.ReadFlushes,
 		}
 		progressMu.Lock()
 		o.progress("battery %s x%d: peak %d entries, %.3g J worst case",

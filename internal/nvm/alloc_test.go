@@ -1,0 +1,46 @@
+// Race-detector instrumentation itself allocates, so these exact-zero
+// pins only hold on uninstrumented builds; ci.sh runs them in a
+// dedicated non-race pass.
+//go:build !race
+
+package nvm
+
+import (
+	"testing"
+
+	"secpb/internal/addr"
+	"secpb/internal/config"
+)
+
+// TestStagedDrainZeroAlloc pins the deferred drain machinery — the
+// stageTuple fast path inside PersistBlock and the flushStaged
+// materialization — to zero heap allocations at steady state: the
+// staging list, counter lines and metadata pages all recycle.
+func TestStagedDrainZeroAlloc(t *testing.T) {
+	cfg := config.Default() // COBCM: full encrypt+MAC+BMT tuple
+	c, err := NewController(cfg, []byte("alloc test key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data [addr.BlockBytes]byte
+	const blocks = 512
+	i := uint64(0)
+	persist := func() {
+		b := addr.Block((i % blocks) * addr.BlockBytes)
+		data[0] = byte(i)
+		if _, err := c.PersistBlock(b, &data, nil); err != nil {
+			t.Fatal(err)
+		}
+		i++
+		if i%16 == 0 {
+			c.FlushStaged()
+			c.CompleteSweep()
+		}
+	}
+	for n := 0; n < 50_000; n++ {
+		persist()
+	}
+	if avg := testing.AllocsPerRun(20_000, persist); avg != 0 {
+		t.Fatalf("staged drain allocates: %g allocs/op at steady state", avg)
+	}
+}

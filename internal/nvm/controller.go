@@ -334,7 +334,13 @@ const (
 // touchCtrCache models a counter-cache access for the block's line.
 func (c *Controller) touchCtrCache(b addr.Block, write bool) Cost {
 	a := ctrTag | meta.LineAddr(b.CounterLine())
-	if c.ctrCache.Access(a, write, false) {
+	hit := false
+	if write {
+		hit = c.ctrCache.AccessWrite(a)
+	} else {
+		hit = c.ctrCache.AccessRead(a)
+	}
+	if hit {
 		return Cost{CtrCacheHit: true}
 	}
 	c.ctrCache.Fill(a, write, false)
@@ -344,7 +350,13 @@ func (c *Controller) touchCtrCache(b addr.Block, write bool) Cost {
 // touchMACCache models a MAC-cache access for the block's MAC line.
 func (c *Controller) touchMACCache(b addr.Block, write bool) Cost {
 	a := macTag | meta.MACLineAddr(b)
-	if c.macCache.Access(a, write, false) {
+	hit := false
+	if write {
+		hit = c.macCache.AccessWrite(a)
+	} else {
+		hit = c.macCache.AccessRead(a)
+	}
+	if hit {
 		return Cost{}
 	}
 	c.macCache.Fill(a, write, false)
@@ -365,7 +377,13 @@ func (c *Controller) walkBMT(b addr.Block, update bool) Cost {
 	ids := c.pathIDs
 	for i := 0; i < levels && i < len(ids); i++ {
 		nodeAddr := bmtTag | ids[i]<<6 // distinct pseudo-address per node
-		if !c.bmtCache.Access(nodeAddr, update, false) {
+		hit := false
+		if update {
+			hit = c.bmtCache.AccessWrite(nodeAddr)
+		} else {
+			hit = c.bmtCache.AccessRead(nodeAddr)
+		}
+		if !hit {
 			c.bmtCache.Fill(nodeAddr, update, false)
 			cost.BMTNodeFetch++
 			cost.PMReads++

@@ -57,6 +57,16 @@ type Buffer[E any] struct {
 	// was the engine store path's last per-op heap traffic.
 	free []*Entry[E]
 
+	// lastBlock/lastEntry memoize the most recent CoalesceWrite index
+	// hit: consecutive stores overwhelmingly land in the block just
+	// written, so the repeat skips the hash probe. Every removal path
+	// funnels through recordDrain, which clears the memo when the
+	// memoized entry leaves — a non-nil lastEntry is therefore always
+	// the resident entry for lastBlock (resident entries never change
+	// block, and freelist reuse requires a prior removal).
+	lastBlock addr.Block
+	lastEntry *Entry[E]
+
 	allocs uint64
 	writes uint64
 	drains uint64
@@ -281,6 +291,37 @@ func (b *Buffer[E]) WriteInit(asid uint16, block addr.Block, off, size int, val 
 	return e, allocated, nil
 }
 
+// CoalesceWrite coalesces a store into the block's resident entry and
+// returns it — the hot-path subset of WriteInit for callers that
+// handle allocation separately. It returns nil with no side effects
+// when the block has no entry or the write parameters are invalid (the
+// caller falls back to WriteInit, which allocates or reports the
+// error), so one index probe serves as both the residency test and the
+// coalescing write.
+func (b *Buffer[E]) CoalesceWrite(block addr.Block, off, size int, val uint64) *Entry[E] {
+	if off < 0 || size <= 0 || size > 8 || off+size > addr.BlockBytes {
+		return nil
+	}
+	e := b.lastEntry
+	if e == nil || b.lastBlock != block {
+		e = b.idx.get(block)
+		if e == nil {
+			return nil
+		}
+		b.lastBlock, b.lastEntry = block, e
+	}
+	if size == 8 {
+		binary.LittleEndian.PutUint64(e.Data[off:off+8], val)
+	} else {
+		for i := 0; i < size; i++ {
+			e.Data[off+i] = byte(val >> (8 * i))
+		}
+	}
+	e.Writes++
+	b.writes++
+	return e
+}
+
 // Insert adopts an entry migrated from another buffer (cache-coherence
 // migration between per-core persist buffers). The entry keeps its data
 // and extension payload but receives a new allocation sequence in this
@@ -319,6 +360,9 @@ func (b *Buffer[E]) fifoPush(block addr.Block) {
 
 // recordDrain accumulates the NWPE sample for a removed entry.
 func (b *Buffer[E]) recordDrain(e *Entry[E]) {
+	if e == b.lastEntry {
+		b.lastEntry = nil
+	}
 	b.drains++
 	b.drainWriteSum += uint64(e.Writes)
 	b.drainWriteCnt++

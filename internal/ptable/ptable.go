@@ -123,6 +123,29 @@ func (t *Table[T]) GetOrCreate(key uint64) (v *T, created bool) {
 	return &p.vals[i], true
 }
 
+// Octet returns a view of the eight values covering keys
+// [base, base+8) together with their presence bits (bit i for
+// base+i), for an 8-aligned base in the direct-indexed range. An
+// 8-aligned run of eight keys never straddles a page or a bitmap
+// word, so one directory walk serves all eight — the BMT sweep reads
+// a node's children this way instead of probing per key. ok=false
+// means the range is outside the direct-indexed bound and the caller
+// must fall back to per-key lookups; ok=true with a nil slice means
+// the covering page was never allocated (no key present).
+func (t *Table[T]) Octet(base uint64) (vals []T, present uint8, ok bool) {
+	if base >= maxDirect || base&7 != 0 {
+		return nil, 0, false
+	}
+	d := base >> PageBits
+	if d < uint64(len(t.dir)) {
+		if p := t.dir[d]; p != nil {
+			i := base & pageMask
+			return p.vals[i : i+8 : i+8], uint8(p.present[i>>6] >> (i & 63)), true
+		}
+	}
+	return nil, 0, true
+}
+
 // Put sets the value for key, creating it if absent.
 func (t *Table[T]) Put(key uint64, v T) {
 	p, _ := t.GetOrCreate(key)

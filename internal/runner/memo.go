@@ -13,9 +13,32 @@ import "sync"
 type Memo[K comparable, V any] struct {
 	mu     sync.Mutex
 	cells  map[K]*memoCell[V]
+	store  MemoStore[K, V]
 	hits   uint64
 	misses uint64
+
+	storeHits  uint64
+	storeSaves uint64
 }
+
+// MemoStore is an optional second-level backing store consulted on
+// in-memory misses — typically a persistent on-disk cache, so repeat
+// grids across processes skip simulation entirely. Load reports
+// whether it holds a usable value for key; any unusable record
+// (missing, truncated, corrupt, stale version) is simply a miss — the
+// memo falls back to computing, then Save overwrites. Load and Save
+// are never called concurrently for the same key (the memo's
+// duplicate-collapse guarantees one flight per key) but may be called
+// concurrently for different keys.
+type MemoStore[K comparable, V any] interface {
+	Load(key K) (V, bool)
+	Save(key K, val V)
+}
+
+// SetStore attaches a backing store. It must be called before the memo
+// is shared across goroutines (stores are consulted without the memo
+// lock held).
+func (m *Memo[K, V]) SetStore(s MemoStore[K, V]) { m.store = s }
 
 // memoCell is one in-flight or completed computation. done is closed
 // when val/err are final.
@@ -47,14 +70,39 @@ func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (val V, hit bool, err error
 	m.misses++
 	m.mu.Unlock()
 
+	if m.store != nil {
+		if v, ok := m.store.Load(key); ok {
+			c.val = v
+			close(c.done)
+			m.mu.Lock()
+			m.storeHits++
+			m.mu.Unlock()
+			return c.val, true, nil
+		}
+	}
+
 	c.val, c.err = fn()
 	if c.err != nil {
 		m.mu.Lock()
 		delete(m.cells, key)
 		m.mu.Unlock()
+	} else if m.store != nil {
+		m.store.Save(key, c.val)
+		m.mu.Lock()
+		m.storeSaves++
+		m.mu.Unlock()
 	}
 	close(c.done)
 	return c.val, false, c.err
+}
+
+// StoreStats returns cumulative backing-store (hits, saves): cells
+// served from the store without computing, and computed cells written
+// back. Both zero when no store is attached.
+func (m *Memo[K, V]) StoreStats() (hits, saves uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.storeHits, m.storeSaves
 }
 
 // Stats returns cumulative (hits, misses). A hit counted against an

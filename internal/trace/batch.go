@@ -72,12 +72,23 @@ func (b *Batch) Op(i int) Op {
 	}
 }
 
-// Validate checks every op in the batch, returning the first error with
-// its index. Consumers validate once per batch instead of once per op.
+// Validate checks every op in the batch, returning the first error.
+// Consumers validate once per batch instead of once per op, and the
+// check itself is columnar: the common all-valid case scans the kind
+// and size columns without materializing an Op; only a failing index
+// reassembles its op to produce the identical per-op error.
 func (b *Batch) Validate() error {
-	for i, n := 0, b.Len(); i < n; i++ {
-		if err := b.Op(i).Validate(); err != nil {
-			return err
+	for i, k := range b.Kinds {
+		switch k {
+		case Load, Store:
+			sz := b.Sizes[i]
+			if sz == 0 || sz > 8 ||
+				(b.Addrs[i]&(uint64(sz)-1) != 0 && sz&(sz-1) == 0) {
+				return b.Op(i).Validate()
+			}
+		case Fence:
+		default:
+			return b.Op(i).Validate()
 		}
 	}
 	return nil
@@ -95,33 +106,44 @@ type BatchSource interface {
 // SliceBatchSource replays a pre-materialized op slice in columnar
 // chunks — the batched counterpart of SliceSource, for benchmarks and
 // tests that want the batched replay path without generator cost in
-// the loop.
+// the loop. The columns are decomposed once at construction; NextBatch
+// installs zero-copy subslice views into the consumer's batch instead
+// of copying op by op.
 type SliceBatchSource struct {
-	ops []Op
-	pos int
+	cols Batch
+	pos  int
 }
 
 // NewSliceBatchSource returns a BatchSource over ops.
 func NewSliceBatchSource(ops []Op) *SliceBatchSource {
-	return &SliceBatchSource{ops: ops}
+	s := &SliceBatchSource{cols: *NewBatch(len(ops))}
+	for _, op := range ops {
+		s.cols.Append(op)
+	}
+	return s
 }
 
 // Reset rewinds the source to the start of the slice.
 func (s *SliceBatchSource) Reset() { s.pos = 0 }
 
-// NextBatch fills b with the next chunk of ops.
+// NextBatch points b's columns at the next chunk of ops. The views
+// alias the source's columns: consumers treat batches as read-only
+// (the engine's replay loop does), and b's own backing array, if any,
+// is left untouched for the next filling source.
 func (s *SliceBatchSource) NextBatch(b *Batch) bool {
-	if s.pos >= len(s.ops) {
+	n := s.cols.Len() - s.pos
+	if n <= 0 {
 		return false
 	}
-	b.Reset()
-	n := len(s.ops) - s.pos
-	if c := b.Cap(); n > c {
-		n = c
+	if n > DefaultBatchCap {
+		n = DefaultBatchCap
 	}
-	for _, op := range s.ops[s.pos : s.pos+n] {
-		b.Append(op)
-	}
-	s.pos += n
+	lo, hi := s.pos, s.pos+n
+	b.Kinds = s.cols.Kinds[lo:hi:hi]
+	b.Addrs = s.cols.Addrs[lo:hi:hi]
+	b.Sizes = s.cols.Sizes[lo:hi:hi]
+	b.Datas = s.cols.Datas[lo:hi:hi]
+	b.Gaps = s.cols.Gaps[lo:hi:hi]
+	s.pos = hi
 	return true
 }

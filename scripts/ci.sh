@@ -7,7 +7,22 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+
+# Formatting gate: gofmt disagreements are build breaks here, not
+# review nits.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "ERROR: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go test -race ./...
+
+# Exact-zero allocation pins for the kernel hot paths. These carry a
+# !race build tag — race instrumentation allocates on its own — so they
+# need this uninstrumented pass to run at all.
+go test -run 'ZeroAlloc' . ./internal/crypto/ ./internal/nvm/
 
 # Benchmarks must at least compile and run one iteration: the perf
 # report scripts depend on them, and a bench-only regression would
@@ -52,7 +67,7 @@ echo "table4 identical: serial/-memo=false vs parallel/memoized"
 # ... and across the parallel-data-plane knobs: sweep workers and MAC
 # lane width are wall-clock strategies, never allowed to leak into the
 # artifact bytes.
-for knobs in "-parallel 4 -sweepworkers 4 -lanes 4" "-parallel 8 -sweepworkers 8 -lanes 2" "-parallel 4 -cores 1"; do
+for knobs in "-parallel 4 -sweepworkers 4 -lanes 4" "-parallel 8 -sweepworkers 8 -lanes 2" "-parallel 4 -cores 1" "-parallel 4 -kernels=false"; do
     # shellcheck disable=SC2086
     "$tmp/secpb-bench" -exp table4 -ops 5000 $knobs \
         > "$tmp/table4_knobs.txt" 2>&1
@@ -61,7 +76,34 @@ for knobs in "-parallel 4 -sweepworkers 4 -lanes 4" "-parallel 8 -sweepworkers 8
         exit 1
     fi
 done
-echo "table4 identical across sweep-worker, MAC-lane and -cores settings"
+echo "table4 identical across sweep-worker, MAC-lane, -cores and -kernels settings"
+
+# Persistent cell-cache gate: a warm -memodir run must replay from disk
+# byte-identically, and a corrupted record must be rejected and
+# recomputed — never trusted — still yielding identical bytes.
+"$tmp/secpb-bench" -exp table4 -ops 5000 -memodir "$tmp/memod" \
+    > "$tmp/table4_cold.txt" 2>&1
+"$tmp/secpb-bench" -exp table4 -ops 5000 -memodir "$tmp/memod" \
+    > "$tmp/table4_warm.txt" 2>&1
+if ! diff -q "$tmp/table4_cold.txt" "$tmp/table4_warm.txt"; then
+    echo "ERROR: warm -memodir table4 differs from cold run" >&2
+    exit 1
+fi
+if ! diff -q "$tmp/table4_parallel.txt" "$tmp/table4_warm.txt"; then
+    echo "ERROR: -memodir table4 differs from uncached run" >&2
+    exit 1
+fi
+# Flip one byte mid-record in every cached cell: all must be rejected.
+for rec in "$tmp/memod"/*.spbc; do
+    printf '\xff' | dd of="$rec" bs=1 seek=20 count=1 conv=notrunc status=none
+done
+"$tmp/secpb-bench" -exp table4 -ops 5000 -memodir "$tmp/memod" \
+    > "$tmp/table4_corrupt.txt" 2>&1
+if ! diff -q "$tmp/table4_cold.txt" "$tmp/table4_corrupt.txt"; then
+    echo "ERROR: table4 differs after cache corruption (stale record trusted?)" >&2
+    exit 1
+fi
+echo "table4 identical: cold vs warm vs corrupted -memodir"
 
 # Multi-core smoke, race-clean: the cores=2 exhaustive crash matrix with
 # both negative drain/merge-order controls, the cross-core fault sweep,
@@ -90,6 +132,16 @@ echo "multicore battery grid identical: serial vs parallel/knobbed"
 go build -o "$tmp/secpb-crash" ./cmd/secpb-crash
 "$tmp/secpb-crash" -schemes all -bench gcc -ops 1200 -points 30 -seed 42 \
     -out "$tmp/crash-matrix.json"
+# The crash matrix is kernel-agnostic: crash-sink runs disengage the
+# specialized kernels automatically, and the healthy golden replays
+# must be identical either way.
+"$tmp/secpb-crash" -schemes all -bench gcc -ops 1200 -points 30 -seed 42 \
+    -kernels=false -out "$tmp/crash-matrix-nokern.json"
+if ! diff -q "$tmp/crash-matrix.json" "$tmp/crash-matrix-nokern.json"; then
+    echo "ERROR: crash matrix differs with -kernels=false" >&2
+    exit 1
+fi
+echo "crash matrix identical with and without specialized kernels"
 
 # Degraded-mode smoke: the fixed-seed fault sweep (six schemes across
 # clean / torn-write / bit-rot media) plus the nested battery-exhaustion
