@@ -28,11 +28,12 @@ import (
 	"secpb/internal/engine"
 	"secpb/internal/harness"
 	"secpb/internal/runner"
+	"secpb/internal/workload"
 )
 
 var allExperiments = []string{
 	"table4", "fig6", "table5", "table6", "fig7", "fig8", "fig9",
-	"stats", "ablation", "gaps", "sensitivity", "multicore",
+	"stats", "ablation", "gaps", "sensitivity", "multicore", "zoo", "stress",
 }
 
 // parseCores parses the -cores flag: a comma list of positive core
@@ -71,6 +72,8 @@ func benchMain() int {
 		memo     = flag.Bool("memo", true, "cache simulation cells by content so overlapping experiment grids simulate each unique (config, benchmark, ops) cell once; output is identical either way")
 		memodir  = flag.String("memodir", "", "persist the cell cache in this directory: warm re-runs replay cached cells instead of simulating (records are content-keyed, version-stamped and checksummed; anything stale or corrupt is recomputed); output is identical either way")
 		kernels  = flag.Bool("kernels", true, "use the scheme-specialized execution kernels for the per-op hot path; output is identical either way")
+		tracedir = flag.String("tracedir", "", "replay each benchmark's recorded SPB2 trace from <dir>/<name>.spb2 instead of generating the stream live; traces recorded with -record at the same ops yield byte-identical artifacts")
+		record   = flag.Bool("record", false, "record the selected benchmarks' traces (default: the workload zoo) into -tracedir before running")
 		verbose  = flag.Bool("v", false, "print per-simulation progress")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of rendered text")
 		timing   = flag.String("timing", "", "write per-experiment wall-clock timings as JSON to this file")
@@ -154,6 +157,22 @@ func benchMain() int {
 	if *benches != "" {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}
+	if *record {
+		if *tracedir == "" {
+			fmt.Fprintln(os.Stderr, "secpb-bench: -record requires -tracedir")
+			return 2
+		}
+		names := opt.Benchmarks
+		if len(names) == 0 {
+			names = workload.ZooNames()
+		}
+		if err := harness.RecordTraces(*tracedir, names, opt.Cfg.Seed, opt.Ops); err != nil {
+			fmt.Fprintf(os.Stderr, "secpb-bench: -record: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d traces to %s\n", len(names), *tracedir)
+	}
+	opt.TraceDir = *tracedir
 	if *verbose {
 		// Simulations run concurrently under -parallel; serialize the
 		// progress lines so they never interleave mid-line.
@@ -251,6 +270,14 @@ func benchMain() int {
 	run("multicore", func() (fmt.Stringer, interface{}, error) {
 		grid, tab, err := harness.MulticoreBattery(opt, gridCores)
 		return tab, grid, err
+	})
+	run("zoo", func() (fmt.Stringer, interface{}, error) {
+		rows, tab, err := harness.Zoo(opt)
+		return tab, rows, err
+	})
+	run("stress", func() (fmt.Stringer, interface{}, error) {
+		rows, tab, err := harness.StressBattery(opt)
+		return tab, rows, err
 	})
 
 	if failed {

@@ -1,19 +1,27 @@
 // Command secpb-trace works with memory-operation traces: generate a
-// synthetic benchmark trace, dump a binary trace as text, assemble text
-// back into binary, report statistics, or apply the relaxed-consistency
-// reordering transform.
+// synthetic benchmark trace, convert between the flat SPB1 and
+// segmented-columnar SPB2 encodings, dump a binary trace as text,
+// assemble text back into binary, report statistics, or apply the
+// relaxed-consistency reordering transform.
+//
+// gen, convert, dump, and stat stream batch-by-batch in constant
+// memory, so they handle traces far larger than RAM. Readers
+// auto-detect the format from the magic; writers default to SPB2
+// (-format spb1 selects the legacy flat encoding).
 //
 // Usage:
 //
-//	secpb-trace gen -bench gamess -ops 100000 -o gamess.spb
-//	secpb-trace dump -i gamess.spb | head
-//	secpb-trace asm -i trace.txt -o trace.spb
-//	secpb-trace stat -i gamess.spb
-//	secpb-trace reorder -i trace.spb -o relaxed.spb -window 16
+//	secpb-trace gen -bench gamess -ops 100000 -o gamess.spb2
+//	secpb-trace convert -i gamess.spb -o gamess.spb2
+//	secpb-trace dump -i gamess.spb2 | head
+//	secpb-trace asm -i trace.txt -o trace.spb2
+//	secpb-trace stat -i gamess.spb2
+//	secpb-trace reorder -i trace.spb2 -o relaxed.spb2 -window 16
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,169 +32,425 @@ import (
 	"secpb/internal/workload"
 )
 
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "secpb-trace: "+format+"\n", args...)
-	os.Exit(1)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func openIn(path string) io.ReadCloser {
+const usage = "usage: secpb-trace gen|convert|dump|asm|stat|reorder [flags]"
+
+// run is the testable entry point: it never calls os.Exit and writes
+// only to the given streams.
+func run(argv []string, stdout, stderr io.Writer) int {
+	if len(argv) < 1 {
+		fmt.Fprintln(stderr, "secpb-trace: "+usage)
+		return 2
+	}
+	cmd, args := argv[0], argv[1:]
+	var err error
+	switch cmd {
+	case "gen":
+		err = cmdGen(args, stdout, stderr)
+	case "convert":
+		err = cmdConvert(args, stdout, stderr)
+	case "dump":
+		err = cmdDump(args, stdout, stderr)
+	case "asm":
+		err = cmdAsm(args, stdout, stderr)
+	case "stat":
+		err = cmdStat(args, stdout, stderr)
+	case "reorder":
+		err = cmdReorder(args, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "secpb-trace: unknown subcommand %q\n%s\n", cmd, usage)
+		return 2
+	}
+	var uerr usageError
+	if errors.As(err, &uerr) {
+		if uerr.err != flag.ErrHelp {
+			fmt.Fprintf(stderr, "secpb-trace: %s: %v\n", cmd, uerr.err)
+		}
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "secpb-trace: %s: %v\n", cmd, err)
+		return 1
+	}
+	return 0
+}
+
+// usageError marks malformed command lines (bad flag syntax, -h) so
+// run can exit 2 instead of 1.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+// parseFlags wraps flag-syntax failures as usage errors.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	return nil
+}
+
+func openIn(path string) (io.ReadCloser, error) {
 	if path == "" || path == "-" {
-		return io.NopCloser(os.Stdin)
+		return io.NopCloser(os.Stdin), nil
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	return f
+	return os.Open(path)
 }
 
-func createOut(path string) io.WriteCloser {
+func createOut(path string, stdout io.Writer) (io.WriteCloser, error) {
 	if path == "" || path == "-" {
-		return os.Stdout
+		return nopWriteCloser{stdout}, nil
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	return f
+	return os.Create(path)
 }
 
-func readAll(path string) []trace.Op {
-	in := openIn(path)
-	defer in.Close()
-	ops, err := trace.NewReader(in).ReadAll()
-	if err != nil {
-		fatalf("reading %s: %v", path, err)
-	}
-	return ops
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+// opWriter abstracts the two binary encoders so every subcommand picks
+// an output format the same way.
+type opWriter interface {
+	Write(trace.Op) error
+	Flush() error
 }
 
-func writeAll(path string, ops []trace.Op) {
-	out := createOut(path)
-	w := trace.NewWriter(out)
-	for _, op := range ops {
+func newOpWriter(w io.Writer, format string, segOps int) (opWriter, error) {
+	switch format {
+	case "spb2":
+		return trace.NewSegWriter(w, segOps), nil
+	case "spb1":
+		return trace.NewWriter(w), nil
+	default:
+		return nil, fmt.Errorf("unknown -format %q (want spb1 or spb2)", format)
+	}
+}
+
+func closeOut(out io.WriteCloser) error {
+	if _, ok := out.(nopWriteCloser); ok {
+		return nil
+	}
+	return out.Close()
+}
+
+func cmdGen(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("gen", stderr)
+	bench := fs.String("bench", "gcc", "benchmark profile (SPEC proxy or zoo name)")
+	ops := fs.Uint64("ops", 100_000, "operations to generate")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	out := fs.String("o", "-", "output file (binary trace)")
+	format := fs.String("format", "spb2", "output encoding: spb1 or spb2")
+	segOps := fs.Int("segops", 0, "SPB2 ops per segment (0 = default)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *ops == 0 {
+		return fmt.Errorf("-ops must be positive")
+	}
+	if *segOps < 0 {
+		return fmt.Errorf("-segops must be non-negative")
+	}
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	gen, err := workload.NewGenerator(prof, *seed, *ops)
+	if err != nil {
+		return err
+	}
+	dst, err := createOut(*out, stdout)
+	if err != nil {
+		return err
+	}
+	w, err := newOpWriter(dst, *format, *segOps)
+	if err != nil {
+		closeOut(dst)
+		return err
+	}
+	var n uint64
+	b := trace.NewBatch(trace.DefaultBatchCap)
+	for gen.NextBatch(b) {
+		if err := writeBatch(w, b); err != nil {
+			closeOut(dst)
+			return err
+		}
+		n += uint64(b.Len())
+	}
+	if err := w.Flush(); err != nil {
+		closeOut(dst)
+		return err
+	}
+	if err := closeOut(dst); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %d ops\n", n)
+	return nil
+}
+
+// writeBatch uses the columnar fast path when the writer has one.
+func writeBatch(w opWriter, b *trace.Batch) error {
+	if sw, ok := w.(*trace.SegWriter); ok {
+		return sw.WriteBatch(b)
+	}
+	for i := 0; i < b.Len(); i++ {
+		if err := w.Write(b.Op(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdConvert(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("convert", stderr)
+	in := fs.String("i", "-", "input binary trace (format auto-detected)")
+	out := fs.String("o", "-", "output binary trace")
+	format := fs.String("format", "spb2", "output encoding: spb1 or spb2")
+	segOps := fs.Int("segops", 0, "SPB2 ops per segment (0 = default)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *segOps < 0 {
+		return fmt.Errorf("-segops must be non-negative")
+	}
+	src, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dec, err := trace.NewDecoder(src)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *in, err)
+	}
+	dst, err := createOut(*out, stdout)
+	if err != nil {
+		return err
+	}
+	w, err := newOpWriter(dst, *format, *segOps)
+	if err != nil {
+		closeOut(dst)
+		return err
+	}
+	var n uint64
+	for {
+		op, err := dec.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			closeOut(dst)
+			return fmt.Errorf("reading %s: %w", *in, err)
+		}
 		if err := w.Write(op); err != nil {
-			fatalf("writing: %v", err)
+			closeOut(dst)
+			return err
+		}
+		n++
+	}
+	if err := w.Flush(); err != nil {
+		closeOut(dst)
+		return err
+	}
+	if err := closeOut(dst); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "converted %d ops (%s -> %s)\n", n, dec.Format(), *format)
+	return nil
+}
+
+func cmdDump(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("dump", stderr)
+	in := fs.String("i", "-", "input binary trace (format auto-detected)")
+	limit := fs.Int("n", 0, "dump at most n ops (0 = all)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *limit < 0 {
+		return fmt.Errorf("-n must be non-negative")
+	}
+	src, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dec, err := trace.NewDecoder(src)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *in, err)
+	}
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	for i := 0; *limit == 0 || i < *limit; i++ {
+		op, err := dec.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", *in, err)
+		}
+		fmt.Fprintln(w, trace.FormatText(op))
+	}
+	return nil
+}
+
+func cmdAsm(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("asm", stderr)
+	in := fs.String("i", "-", "input text trace")
+	out := fs.String("o", "-", "output binary trace")
+	format := fs.String("format", "spb2", "output encoding: spb1 or spb2")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	src, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dst, err := createOut(*out, stdout)
+	if err != nil {
+		return err
+	}
+	w, err := newOpWriter(dst, *format, 0)
+	if err != nil {
+		closeOut(dst)
+		return err
+	}
+	sc := bufio.NewScanner(src)
+	line, n := 0, 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		op, err := trace.ParseText(sc.Text())
+		if err != nil {
+			closeOut(dst)
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := w.Write(op); err != nil {
+			closeOut(dst)
+			return err
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		closeOut(dst)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		closeOut(dst)
+		return err
+	}
+	if err := closeOut(dst); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "assembled %d ops\n", n)
+	return nil
+}
+
+func cmdStat(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("stat", stderr)
+	in := fs.String("i", "-", "input binary trace (format auto-detected)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	src, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dec, err := trace.NewDecoder(src)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *in, err)
+	}
+	var n, loads, stores, fences, instrs uint64
+	blocks := map[addr.Block]uint64{}
+	for {
+		op, err := dec.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", *in, err)
+		}
+		n++
+		instrs += op.Instructions()
+		switch op.Kind {
+		case trace.Load:
+			loads++
+		case trace.Store:
+			stores++
+			blocks[addr.BlockOf(op.Addr)]++
+		case trace.Fence:
+			fences++
+		}
+	}
+	fmt.Fprintf(stdout, "format       %s\n", dec.Format())
+	fmt.Fprintf(stdout, "ops          %d\n", n)
+	fmt.Fprintf(stdout, "instructions %d\n", instrs)
+	fmt.Fprintf(stdout, "loads        %d\n", loads)
+	fmt.Fprintf(stdout, "stores       %d\n", stores)
+	fmt.Fprintf(stdout, "fences       %d\n", fences)
+	if instrs > 0 {
+		fmt.Fprintf(stdout, "PPTI         %.1f\n", float64(stores)/float64(instrs)*1000)
+	}
+	fmt.Fprintf(stdout, "store blocks %d\n", len(blocks))
+	if len(blocks) > 0 {
+		fmt.Fprintf(stdout, "stores/block %.2f\n", float64(stores)/float64(len(blocks)))
+	}
+	return nil
+}
+
+func cmdReorder(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("reorder", stderr)
+	in := fs.String("i", "-", "input binary trace (format auto-detected)")
+	out := fs.String("o", "-", "output binary trace")
+	window := fs.Int("window", 16, "reorder window (stores)")
+	seed := fs.Uint64("seed", 1, "reorder seed")
+	format := fs.String("format", "spb2", "output encoding: spb1 or spb2")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *window < 1 {
+		return fmt.Errorf("-window must be at least 1")
+	}
+	src, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dec, err := trace.NewDecoder(src)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *in, err)
+	}
+	ops, err := dec.ReadAll()
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *in, err)
+	}
+	dst, err := createOut(*out, stdout)
+	if err != nil {
+		return err
+	}
+	w, err := newOpWriter(dst, *format, 0)
+	if err != nil {
+		closeOut(dst)
+		return err
+	}
+	for _, op := range trace.Reorder(ops, *window, *seed) {
+		if err := w.Write(op); err != nil {
+			closeOut(dst)
+			return err
 		}
 	}
 	if err := w.Flush(); err != nil {
-		fatalf("flushing: %v", err)
+		closeOut(dst)
+		return err
 	}
-	if f, ok := out.(*os.File); ok && f != os.Stdout {
-		if err := f.Close(); err != nil {
-			fatalf("closing: %v", err)
-		}
-	}
-}
-
-func main() {
-	if len(os.Args) < 2 {
-		fatalf("usage: secpb-trace gen|dump|asm|stat|reorder [flags]")
-	}
-	cmd, args := os.Args[1], os.Args[2:]
-	switch cmd {
-	case "gen":
-		fs := flag.NewFlagSet("gen", flag.ExitOnError)
-		bench := fs.String("bench", "gcc", "benchmark profile")
-		ops := fs.Uint64("ops", 100_000, "operations to generate")
-		seed := fs.Uint64("seed", 1, "workload seed")
-		out := fs.String("o", "-", "output file (binary trace)")
-		fs.Parse(args)
-		prof, err := workload.ByName(*bench)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		all, err := workload.Generate(prof, *seed, int(*ops))
-		if err != nil {
-			fatalf("%v", err)
-		}
-		writeAll(*out, all)
-		fmt.Fprintf(os.Stderr, "wrote %d ops\n", len(all))
-
-	case "dump":
-		fs := flag.NewFlagSet("dump", flag.ExitOnError)
-		in := fs.String("i", "-", "input binary trace")
-		limit := fs.Int("n", 0, "dump at most n ops (0 = all)")
-		fs.Parse(args)
-		ops := readAll(*in)
-		w := bufio.NewWriter(os.Stdout)
-		defer w.Flush()
-		for i, op := range ops {
-			if *limit > 0 && i >= *limit {
-				break
-			}
-			fmt.Fprintln(w, trace.FormatText(op))
-		}
-
-	case "asm":
-		fs := flag.NewFlagSet("asm", flag.ExitOnError)
-		in := fs.String("i", "-", "input text trace")
-		out := fs.String("o", "-", "output binary trace")
-		fs.Parse(args)
-		src := openIn(*in)
-		defer src.Close()
-		var ops []trace.Op
-		sc := bufio.NewScanner(src)
-		line := 0
-		for sc.Scan() {
-			line++
-			if len(sc.Bytes()) == 0 {
-				continue
-			}
-			op, err := trace.ParseText(sc.Text())
-			if err != nil {
-				fatalf("line %d: %v", line, err)
-			}
-			ops = append(ops, op)
-		}
-		if err := sc.Err(); err != nil {
-			fatalf("%v", err)
-		}
-		writeAll(*out, ops)
-		fmt.Fprintf(os.Stderr, "assembled %d ops\n", len(ops))
-
-	case "stat":
-		fs := flag.NewFlagSet("stat", flag.ExitOnError)
-		in := fs.String("i", "-", "input binary trace")
-		fs.Parse(args)
-		ops := readAll(*in)
-		var loads, stores, fences, instrs uint64
-		blocks := map[addr.Block]uint64{}
-		for _, op := range ops {
-			instrs += op.Instructions()
-			switch op.Kind {
-			case trace.Load:
-				loads++
-			case trace.Store:
-				stores++
-				blocks[addr.BlockOf(op.Addr)]++
-			case trace.Fence:
-				fences++
-			}
-		}
-		fmt.Printf("ops          %d\n", len(ops))
-		fmt.Printf("instructions %d\n", instrs)
-		fmt.Printf("loads        %d\n", loads)
-		fmt.Printf("stores       %d\n", stores)
-		fmt.Printf("fences       %d\n", fences)
-		if instrs > 0 {
-			fmt.Printf("PPTI         %.1f\n", float64(stores)/float64(instrs)*1000)
-		}
-		fmt.Printf("store blocks %d\n", len(blocks))
-		if len(blocks) > 0 {
-			fmt.Printf("stores/block %.2f\n", float64(stores)/float64(len(blocks)))
-		}
-
-	case "reorder":
-		fs := flag.NewFlagSet("reorder", flag.ExitOnError)
-		in := fs.String("i", "-", "input binary trace")
-		out := fs.String("o", "-", "output binary trace")
-		window := fs.Int("window", 16, "reorder window (stores)")
-		seed := fs.Uint64("seed", 1, "reorder seed")
-		fs.Parse(args)
-		writeAll(*out, trace.Reorder(readAll(*in), *window, *seed))
-
-	default:
-		fatalf("unknown subcommand %q", cmd)
-	}
+	return closeOut(dst)
 }

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cli runs the command in-process and returns (exit code, stdout, stderr).
+func cli(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestGenConvertDumpRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spb1 := filepath.Join(dir, "t.spb")
+	spb2 := filepath.Join(dir, "t.spb2")
+	conv := filepath.Join(dir, "conv.spb2")
+	for _, args := range [][]string{
+		{"gen", "-bench", "kvstore", "-ops", "20000", "-seed", "7", "-format", "spb1", "-o", spb1},
+		{"gen", "-bench", "kvstore", "-ops", "20000", "-seed", "7", "-format", "spb2", "-o", spb2},
+		{"convert", "-i", spb1, "-o", conv},
+	} {
+		if code, _, errs := cli(t, args...); code != 0 {
+			t.Fatalf("%v: exit %d: %s", args, code, errs)
+		}
+	}
+
+	// Converting the SPB1 trace re-encodes the same ops, and SPB2
+	// segment boundaries depend only on -segops — so the converted file
+	// is byte-identical to the directly generated one.
+	direct, err := os.ReadFile(spb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	converted, err := os.ReadFile(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct, converted) {
+		t.Errorf("convert(spb1) differs from direct spb2 gen (%d vs %d bytes)", len(converted), len(direct))
+	}
+
+	// Both encodings dump to identical text.
+	var dumps []string
+	for _, f := range []string{spb1, spb2} {
+		code, out, errs := cli(t, "dump", "-i", f)
+		if code != 0 {
+			t.Fatalf("dump %s: exit %d: %s", f, code, errs)
+		}
+		dumps = append(dumps, out)
+	}
+	if dumps[0] != dumps[1] {
+		t.Error("spb1 and spb2 dumps differ")
+	}
+	if n := strings.Count(dumps[0], "\n"); n != 20000 {
+		t.Errorf("dump has %d lines, want 20000", n)
+	}
+
+	// The columnar encoding earns its keep on a real zoo trace.
+	s1, err := os.Stat(spb1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := os.Stat(spb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(s1.Size()) / float64(s2.Size()); ratio < 1.4 {
+		t.Errorf("spb2 only %.2fx smaller than spb1 (%d vs %d bytes)", ratio, s2.Size(), s1.Size())
+	}
+}
+
+func TestStatReportsFormat(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "t.spb2")
+	if code, _, errs := cli(t, "gen", "-bench", "wal", "-ops", "5000", "-o", f); code != 0 {
+		t.Fatalf("gen: %s", errs)
+	}
+	code, out, errs := cli(t, "stat", "-i", f)
+	if code != 0 {
+		t.Fatalf("stat: exit %d: %s", code, errs)
+	}
+	for _, want := range []string{"format       spb2", "ops          5000", "fences"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stat output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAsmDumpRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "t.spb2")
+	if code, _, errs := cli(t, "gen", "-bench", "gcc", "-ops", "300", "-o", f); code != 0 {
+		t.Fatalf("gen: %s", errs)
+	}
+	_, text, _ := cli(t, "dump", "-i", f)
+
+	src := filepath.Join(dir, "t.txt")
+	if err := os.WriteFile(src, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back := filepath.Join(dir, "back.spb2")
+	if code, _, errs := cli(t, "asm", "-i", src, "-o", back); code != 0 {
+		t.Fatalf("asm: exit %d: %s", code, errs)
+	}
+	_, text2, _ := cli(t, "dump", "-i", back)
+	if text != text2 {
+		t.Error("asm→dump round trip altered the trace")
+	}
+}
+
+func TestReorderAcceptsSPB2(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "t.spb2")
+	out := filepath.Join(dir, "r.spb2")
+	if code, _, errs := cli(t, "gen", "-bench", "kvstore", "-ops", "2000", "-o", f); code != 0 {
+		t.Fatalf("gen: %s", errs)
+	}
+	if code, _, errs := cli(t, "reorder", "-i", f, "-o", out, "-window", "8"); code != 0 {
+		t.Fatalf("reorder: exit %d: %s", code, errs)
+	}
+	code, stat, errs := cli(t, "stat", "-i", out)
+	if code != 0 {
+		t.Fatalf("stat: exit %d: %s", code, errs)
+	}
+	if !strings.Contains(stat, "ops          2000") {
+		t.Errorf("reordered trace lost ops:\n%s", stat)
+	}
+}
+
+func TestDumpRejectsCorruptTrace(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "t.spb2")
+	if code, _, errs := cli(t, "gen", "-bench", "kvstore", "-ops", "2000", "-o", f); code != 0 {
+		t.Fatalf("gen: %s", errs)
+	}
+	raw, err := os.ReadFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(f, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errs := cli(t, "dump", "-i", f)
+	if code == 0 {
+		t.Fatal("dump decoded a corrupted trace without error")
+	}
+	if !strings.Contains(errs, "corrupt") {
+		t.Errorf("stderr does not name the corruption: %s", errs)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string // substring of stderr
+	}{
+		{"no args", nil, 2, "usage"},
+		{"unknown subcommand", []string{"frobnicate"}, 2, "unknown subcommand"},
+		{"gen zero ops", []string{"gen", "-ops", "0"}, 1, "-ops must be positive"},
+		{"gen unknown bench", []string{"gen", "-bench", "no-such-bench"}, 1, "no-such-bench"},
+		{"gen bad format", []string{"gen", "-bench", "gcc", "-format", "spb9"}, 1, "unknown -format"},
+		{"gen negative segops", []string{"gen", "-segops", "-1"}, 1, "-segops must be non-negative"},
+		{"convert bad format", []string{"convert", "-i", "x", "-format", "zip"}, 1, ""},
+		{"dump negative n", []string{"dump", "-n", "-5"}, 1, "-n must be non-negative"},
+		{"reorder zero window", []string{"reorder", "-window", "0"}, 1, "-window must be at least 1"},
+		{"reorder negative window", []string{"reorder", "-window", "-3"}, 1, "-window must be at least 1"},
+		{"gen bad flag", []string{"gen", "-nonsense"}, 2, ""},
+		{"dump missing file", []string{"dump", "-i", "/no/such/file.spb2"}, 1, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errs := cli(t, tc.args...)
+			if code != tc.code {
+				t.Errorf("exit %d, want %d (stderr: %s)", code, tc.code, errs)
+			}
+			if tc.want != "" && !strings.Contains(errs, tc.want) {
+				t.Errorf("stderr %q missing %q", errs, tc.want)
+			}
+		})
+	}
+}

@@ -145,6 +145,9 @@ func New(cfg config.Config, prof workload.Profile, key []byte) (*Engine, error) 
 // Controller exposes the memory controller (for recovery experiments).
 func (e *Engine) Controller() *nvm.Controller { return e.mc }
 
+// Config returns the configuration the engine was booted with.
+func (e *Engine) Config() config.Config { return e.cfg }
+
 // MediaStats reports the degraded-mode activity of the run so far: the
 // controller's program-and-verify retries, bad-block remaps, and the PM
 // fault injector's event counts. All zeros with the fault model off.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"secpb/internal/config"
+	"secpb/internal/trace"
 	"secpb/internal/workload"
 )
 
@@ -115,6 +116,33 @@ func RunBenchmark(cfg config.Config, prof workload.Profile, nops uint64) (Result
 	}
 	if err := eng.Run(gen); err != nil {
 		return Result{}, err
+	}
+	res := eng.Collect()
+	if res.IntegrityErr != nil {
+		return res, fmt.Errorf("engine: integrity violation during healthy run: %w", res.IntegrityErr)
+	}
+	return res, nil
+}
+
+// RunRecorded replays a recorded trace through the same engine
+// RunBenchmark drives live: identical configuration, key, and batched
+// replay path, so a trace recorded from workload.NewGenerator(prof,
+// cfg.Seed, n) produces a byte-identical Result to RunBenchmark(cfg,
+// prof, n). Sources that surface decode errors after end-of-stream
+// (trace.FileBatchSource's Err) fail the run rather than silently
+// truncating it.
+func RunRecorded(cfg config.Config, prof workload.Profile, src trace.Source) (Result, error) {
+	eng, err := New(cfg, prof, []byte("secpb-experiment-key"))
+	if err != nil {
+		return Result{}, err
+	}
+	if err := eng.Run(src); err != nil {
+		return Result{}, err
+	}
+	if c, ok := src.(interface{ Err() error }); ok {
+		if err := c.Err(); err != nil {
+			return Result{}, fmt.Errorf("engine: replaying recorded trace: %w", err)
+		}
 	}
 	res := eng.Collect()
 	if res.IntegrityErr != nil {

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStressBatteryReachesProvisionedBound: the pessimizer must drive
+// peak occupancy to SecPB capacity under every scheme, making the
+// measured worst-case drain demand land exactly on the capacity-sized
+// battery — the Table V provisioning is tight, not conservative.
+func TestStressBatteryReachesProvisionedBound(t *testing.T) {
+	o := DefaultOptions()
+	o.Ops = 10_000
+	rows, tab, err := StressBattery(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(zooSchemes()) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(zooSchemes()))
+	}
+	for _, r := range rows {
+		// The lazy schemes defer the most drain work, so they are the
+		// battery-sizing worst case — and exactly where the adversary
+		// can pin the buffer completely full. Eager schemes throttle
+		// allocation upstream (early crypto work stalls stores first),
+		// so their peak stays slightly below capacity.
+		lazy := r.Scheme.String() == "cobcm" || r.Scheme.String() == "obcm"
+		if lazy && r.PeakOcc != o.Cfg.SecPBEntries {
+			t.Errorf("%v: peak occupancy %d, want full SecPB (%d)", r.Scheme, r.PeakOcc, o.Cfg.SecPBEntries)
+		}
+		if !lazy && r.PeakOcc < o.Cfg.SecPBEntries*7/10 {
+			t.Errorf("%v: peak occupancy %d, want >=70%% of capacity (%d)", r.Scheme, r.PeakOcc, o.Cfg.SecPBEntries)
+		}
+		if r.WorstJ <= 0 || r.ProvisionedJ <= 0 {
+			t.Errorf("%v: non-positive energy (worst %.2e, provisioned %.2e)", r.Scheme, r.WorstJ, r.ProvisionedJ)
+		}
+		if r.Headroom < 0 {
+			t.Errorf("%v: battery undersized under attack: headroom %.2e J", r.Scheme, r.Headroom)
+		}
+		// Peak occupancy at capacity means demand == provision exactly.
+		if r.PeakOcc == o.Cfg.SecPBEntries && r.Headroom != 0 {
+			t.Errorf("%v: headroom %.2e J at full occupancy, want exactly 0 (bound is tight)", r.Scheme, r.Headroom)
+		}
+		if r.GapP99 == 0 {
+			t.Errorf("%v: zero p99 exposure gap under attack", r.Scheme)
+		}
+	}
+	if !strings.Contains(tab.String(), "adv-battery") {
+		t.Errorf("artifact does not name the pessimizer:\n%s", tab)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"secpb/internal/config"
+	"secpb/internal/workload"
 )
 
 // TestTable4CalibrationBands is the reproduction's regression guard:
@@ -56,5 +57,90 @@ func TestTable4CalibrationBands(t *testing.T) {
 	improve := 1 - grid.Ratio["povray"][config.SchemeM]/grid.Ratio["povray"][config.SchemeNoGap]
 	if improve < 0.30 {
 		t.Errorf("povray NoGap->M improvement = %.0f%%, paper reports 51.6%%", improve*100)
+	}
+}
+
+// TestZooCalibrationBands pins the workload zoo's qualitative story:
+// the application-class generators behave like write-heavy but sane
+// programs (COBCM near baseline, the Table IV lazy→eager ordering
+// holds), while the adversarial generators do what they were built for
+// (saturate the SecPB, maximize backpressure, defeat coalescing).
+// PPTI must track each profile's StoresPerKilo target at the harness
+// grid level too, not just in the generator's unit tests. (~15s;
+// skipped with -short.)
+func TestZooCalibrationBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zoo calibration run")
+	}
+	o := DefaultOptions()
+	o.Ops = 20_000
+	rows, _, err := Zoo(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ZooRow{}
+	for _, r := range rows {
+		byName[r.Bench] = r
+	}
+	profs := workload.ZooProfiles()
+	for _, p := range profs {
+		r, ok := byName[p.Name]
+		if !ok {
+			t.Fatalf("zoo grid missing %s", p.Name)
+		}
+		// PPTI within 15% of the profile's calibration target.
+		target := float64(p.StoresPerKilo)
+		if r.PPTI < target*0.85 || r.PPTI > target*1.15 {
+			t.Errorf("%s: PPTI %.1f outside ±15%% of target %.0f", p.Name, r.PPTI, target)
+		}
+		// Lazy→eager monotonicity (allow small timing noise).
+		order := zooSchemes()
+		for i := 1; i < len(order); i++ {
+			if r.Slowdown[order[i]] < r.Slowdown[order[i-1]]*0.98 {
+				t.Errorf("%s: %v slowdown %.3f < %v slowdown %.3f — lazy→eager ordering broken",
+					p.Name, order[i], r.Slowdown[order[i]], order[i-1], r.Slowdown[order[i-1]])
+			}
+		}
+	}
+	// Application-class workloads: COBCM stays near the BBB baseline
+	// and coalescing works (NWPE well above 1).
+	for _, name := range []string{"kvstore", "wal", "tenantmix"} {
+		r := byName[name]
+		if r.Slowdown[config.SchemeCOBCM] > 1.10 {
+			t.Errorf("%s: COBCM slowdown %.3f, want near-baseline (<1.10)", name, r.Slowdown[config.SchemeCOBCM])
+		}
+		if r.NWPE < 2 {
+			t.Errorf("%s: NWPE %.2f, want coalescing (>2)", name, r.NWPE)
+		}
+	}
+	// Adversarial generators: SecPB pinned at capacity, heavy
+	// backpressure, and coalescing defeated (NWPE ~ 1).
+	for _, name := range []string{"adv-occupancy", "adv-bmtblast", "adv-battery"} {
+		r := byName[name]
+		if r.PeakOcc != o.Cfg.SecPBEntries {
+			t.Errorf("%s: peak occupancy %d, want full SecPB (%d)", name, r.PeakOcc, o.Cfg.SecPBEntries)
+		}
+		if r.BPFrac < 0.5 {
+			t.Errorf("%s: backpressure fraction %.2f, want >0.5", name, r.BPFrac)
+		}
+		if r.NWPE > 1.05 {
+			t.Errorf("%s: NWPE %.2f, want ~1 (coalescing defeated)", name, r.NWPE)
+		}
+	}
+	// The battery pessimizer must be the most expensive trace in the
+	// zoo even under the laziest scheme — that is its job.
+	worst := byName["adv-battery"].Slowdown[config.SchemeCOBCM]
+	for _, r := range rows {
+		if r.Bench != "adv-battery" && r.Slowdown[config.SchemeCOBCM] > worst {
+			t.Errorf("%s COBCM slowdown %.2f exceeds adv-battery's %.2f", r.Bench, r.Slowdown[config.SchemeCOBCM], worst)
+		}
+	}
+	// gcmark is the read-dominated control: even NoGap costs it far
+	// less than it costs any write-heavy workload.
+	if g := byName["gcmark"].Slowdown[config.SchemeNoGap]; g > 1.25 {
+		t.Errorf("gcmark NoGap slowdown %.3f, want <1.25 (read-dominated)", g)
+	}
+	if gc, kv := byName["gcmark"].Slowdown[config.SchemeNoGap], byName["kvstore"].Slowdown[config.SchemeNoGap]; gc > kv/2 {
+		t.Errorf("gcmark NoGap slowdown %.3f not well below kvstore's %.3f", gc, kv)
 	}
 }

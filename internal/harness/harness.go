@@ -61,6 +61,15 @@ type Options struct {
 	// same way Memo caches single-core simulation cells (the key
 	// already covers scheme and core count via the config hash).
 	Battery *BatteryMemo
+	// TraceDir, if set, replays each benchmark's recorded trace from
+	// <TraceDir>/<name>.spb2 instead of generating the stream live.
+	// A trace recorded with RecordTraces at the same (seed, ops) is
+	// op-identical to the live generator, so results and artifacts are
+	// byte-identical either way (the replay-identity ci.sh gate); a
+	// trace recorded with different parameters simulates whatever it
+	// holds and the artifacts will differ. Memo keys are unchanged —
+	// replayed and generated cells are interchangeable.
+	TraceDir string
 }
 
 // CellMemo is the result cache shared across experiments; see
@@ -127,12 +136,16 @@ func (o *Options) profiles() ([]workload.Profile, error) {
 func (o *Options) run(cfg config.Config, prof workload.Profile) (engine.Result, error) {
 	var res engine.Result
 	var err error
+	sim := func() (engine.Result, error) {
+		if o.TraceDir != "" {
+			return o.runRecorded(cfg, prof)
+		}
+		return engine.RunBenchmark(cfg, prof, o.Ops)
+	}
 	if o.Memo != nil {
-		res, _, err = o.Memo.Do(cellKey(cfg, prof, o.Ops), func() (engine.Result, error) {
-			return engine.RunBenchmark(cfg, prof, o.Ops)
-		})
+		res, _, err = o.Memo.Do(cellKey(cfg, prof, o.Ops), sim)
 	} else {
-		res, err = engine.RunBenchmark(cfg, prof, o.Ops)
+		res, err = sim()
 	}
 	if err != nil {
 		return res, fmt.Errorf("harness: %s/%v: %w", prof.Name, cfg.Scheme, err)

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"secpb/internal/workload"
+)
+
+func zooOptions(ops uint64) Options {
+	o := DefaultOptions()
+	o.Ops = ops
+	return o
+}
+
+// TestZooReplayIdentity is the end-to-end replay-identity gate: the zoo
+// artifact produced by replaying RecordTraces output through
+// Options.TraceDir must be byte-identical to the live-generator
+// artifact, at serial and parallel fan-out and with memoization on.
+func TestZooReplayIdentity(t *testing.T) {
+	o := zooOptions(3000)
+	o.Benchmarks = []string{"kvstore", "wal", "adv-occupancy"}
+	liveRows, liveTab, err := Zoo(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := RecordTraces(dir, o.Benchmarks, o.Cfg.Seed, o.Ops); err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		ro := o
+		ro.TraceDir = dir
+		ro.Parallelism = par
+		ro.Memo = NewCellMemo()
+		recRows, recTab, err := Zoo(ro)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", par, err)
+		}
+		if !reflect.DeepEqual(liveRows, recRows) {
+			t.Errorf("parallel=%d: replayed zoo rows differ from live run", par)
+		}
+		if live, rec := liveTab.String(), recTab.String(); live != rec {
+			t.Errorf("parallel=%d: replayed artifact differs:\nlive:\n%s\nreplay:\n%s", par, live, rec)
+		}
+	}
+}
+
+// TestRecordTracesFiles: one .spb2 per benchmark, no temp droppings.
+func TestRecordTracesFiles(t *testing.T) {
+	dir := t.TempDir()
+	names := []string{"kvstore", "gamess"}
+	if err := RecordTraces(dir, names, 1, 500); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(names) {
+		t.Fatalf("got %d files, want %d", len(ents), len(names))
+	}
+	for _, name := range names {
+		if _, err := os.Stat(filepath.Join(dir, name+".spb2")); err != nil {
+			t.Errorf("missing recorded trace: %v", err)
+		}
+	}
+}
+
+func TestRecordTracesUnknownName(t *testing.T) {
+	if err := RecordTraces(t.TempDir(), []string{"no-such-bench"}, 1, 10); err == nil {
+		t.Fatal("RecordTraces accepted an unknown benchmark name")
+	}
+}
+
+// TestZooTraceDirMissingFile: replay against a directory without the
+// benchmark's trace must fail loudly, not fall back to live generation.
+func TestZooTraceDirMissingFile(t *testing.T) {
+	o := zooOptions(500)
+	o.Benchmarks = []string{"kvstore"}
+	o.TraceDir = t.TempDir()
+	if _, _, err := Zoo(o); err == nil {
+		t.Fatal("Zoo replayed from an empty trace directory without error")
+	}
+}
+
+// TestZooDefaultsAndTable: defaults cover the whole zoo; artifact lists
+// every workload and every scheme column.
+func TestZooDefaultsAndTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full zoo grid")
+	}
+	o := zooOptions(2000)
+	rows, tab, err := Zoo(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(workload.ZooNames()) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(workload.ZooNames()))
+	}
+	art := tab.String()
+	for _, name := range workload.ZooNames() {
+		if !strings.Contains(art, name) {
+			t.Errorf("artifact missing workload %q", name)
+		}
+	}
+	for _, col := range []string{"PPTI", "NWPE", "PeakOcc", "BP%", "cobcm", "nogap"} {
+		if !strings.Contains(art, col) {
+			t.Errorf("artifact missing column %q:\n%s", col, art)
+		}
+	}
+	for _, r := range rows {
+		if r.PPTI <= 0 || r.NWPE < 1 {
+			t.Errorf("%s: implausible stream stats PPTI=%.2f NWPE=%.2f", r.Bench, r.PPTI, r.NWPE)
+		}
+		if len(r.Slowdown) != len(zooSchemes()) {
+			t.Errorf("%s: %d slowdown entries, want %d", r.Bench, len(r.Slowdown), len(zooSchemes()))
+		}
+	}
+	t.Logf("zoo artifact:\n%s", art)
+}

@@ -30,6 +30,8 @@ type Generator struct {
 	recent    []addr.Block // ring of recently written blocks for loads
 	recentPos int
 
+	z *zooState // state machine for zoo patterns (nil for SPEC proxies)
+
 	emitted uint64 // ops emitted
 	limit   uint64 // max ops; 0 means unlimited
 }
@@ -49,6 +51,9 @@ func NewGenerator(p Profile, seed uint64, maxOps uint64) (*Generator, error) {
 	}
 	if p.Pattern == Hot {
 		g.zipf = xrand.NewZipf(r, p.WriteWorkingSet, p.ZipfSkew)
+	}
+	if p.Pattern.zoo() {
+		g.initZoo()
 	}
 	return g, nil
 }
@@ -107,6 +112,11 @@ func (g *Generator) Next() (trace.Op, bool) {
 // next emits one op unconditionally (the caller has checked the limit).
 func (g *Generator) next() trace.Op {
 	g.emitted++
+
+	// Zoo patterns run their own state machines (zoo.go).
+	if g.z != nil {
+		return g.zooNext()
+	}
 
 	// A store burst in progress keeps priority so within-block locality
 	// is contiguous, as produced by real compilers (struct/buffer fills).

@@ -31,6 +31,35 @@ const (
 	// equals the working-set size, making coalescing a step function of
 	// SecPB capacity.
 	Scan
+
+	// The zoo patterns below (see zoo.go) model application classes
+	// rather than SPEC proxies; each has its own state machine in the
+	// generator.
+
+	// KV is a key-value store: zipf-skewed puts (whole-record bursts),
+	// gets against the same key population, and tombstone deletes.
+	KV
+	// WAL is a write-ahead log: sequential record appends each sealed by
+	// a fence, with periodic checkpoints rewriting skewed home blocks.
+	WAL
+	// GC is a mark/sweep collector: pointer-chasing loads over a heap
+	// with a forward-scanning sweep of single-word stores (NWPE ≈ 1).
+	GC
+	// Tenants blends several zipf tenants over disjoint persistent
+	// regions, with tenant selection itself zipf-skewed.
+	Tenants
+	// AdvOccupancy is adversarial: every store dirties a distinct block
+	// in zero-gap trains, maximizing live SecPB entries (Yao &
+	// Venkataramani's persistence-based occupancy attacks).
+	AdvOccupancy
+	// AdvBMTBlast is adversarial: stores stride one block per page so
+	// each persist lands on a different counter line and BMT leaf,
+	// maximizing integrity-tree blast radius.
+	AdvBMTBlast
+	// AdvBattery is adversarial: maximum-rate zero-gap store trains over
+	// distinct pages — the battery-sizing pessimizer behind
+	// harness.StressBattery.
+	AdvBattery
 )
 
 // String names the pattern.
@@ -42,10 +71,28 @@ func (p Pattern) String() string {
 		return "hot"
 	case Scan:
 		return "scan"
+	case KV:
+		return "kv"
+	case WAL:
+		return "wal"
+	case GC:
+		return "gc"
+	case Tenants:
+		return "tenants"
+	case AdvOccupancy:
+		return "adv-occupancy"
+	case AdvBMTBlast:
+		return "adv-bmtblast"
+	case AdvBattery:
+		return "adv-battery"
 	default:
 		return fmt.Sprintf("pattern(%d)", int(p))
 	}
 }
+
+// zoo reports whether the pattern runs on the zoo state machines in
+// zoo.go rather than the SPEC-proxy burst machinery.
+func (p Pattern) zoo() bool { return p >= KV }
 
 // Profile describes one synthetic benchmark.
 type Profile struct {
@@ -75,6 +122,16 @@ type Profile struct {
 	// per-benchmark baseline IPC heterogeneity; e.g. gamess runs at
 	// baseline IPC ≈ 2 while pointer-chasing codes run much lower).
 	NonMemCPI float64
+
+	// DeleteFrac is the fraction of KV write operations that are
+	// tombstone deletes rather than whole-record puts (KV pattern only).
+	DeleteFrac float64
+	// CheckpointEvery is the number of WAL records between checkpoint
+	// rewrites of the home region (WAL pattern only).
+	CheckpointEvery int
+	// Tenants is the number of tenants blended by the Tenants pattern,
+	// each owning a disjoint WriteWorkingSet-block persistent region.
+	Tenants int
 }
 
 // Validate reports the first invalid field.
@@ -97,8 +154,20 @@ func (p Profile) Validate() error {
 	if p.WriteWorkingSet <= 0 || p.ReadWorkingSet <= 0 {
 		return fmt.Errorf("workload: %s: working sets must be positive", p.Name)
 	}
-	if p.Pattern == Hot && p.ZipfSkew <= 0 {
-		return fmt.Errorf("workload: %s: Hot pattern requires ZipfSkew > 0", p.Name)
+	switch p.Pattern {
+	case Hot, KV, Tenants:
+		if p.ZipfSkew <= 0 {
+			return fmt.Errorf("workload: %s: %v pattern requires ZipfSkew > 0", p.Name, p.Pattern)
+		}
+	}
+	if p.DeleteFrac < 0 || p.DeleteFrac > 1 {
+		return fmt.Errorf("workload: %s: DeleteFrac %v out of [0,1]", p.Name, p.DeleteFrac)
+	}
+	if p.Pattern == WAL && p.CheckpointEvery <= 0 {
+		return fmt.Errorf("workload: %s: WAL pattern requires CheckpointEvery > 0", p.Name)
+	}
+	if p.Pattern == Tenants && p.Tenants < 2 {
+		return fmt.Errorf("workload: %s: Tenants pattern requires >= 2 tenants", p.Name)
 	}
 	if p.ReadRecentFrac < 0 || p.ReadRecentFrac > 1 {
 		return fmt.Errorf("workload: %s: ReadRecentFrac %v out of [0,1]", p.Name, p.ReadRecentFrac)
@@ -146,9 +215,15 @@ func Profiles() []Profile {
 	}
 }
 
-// ByName returns the profile with the given name.
+// ByName returns the profile with the given name, searching the SPEC
+// proxies first and then the zoo.
 func ByName(name string) (Profile, error) {
 	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	for _, p := range ZooProfiles() {
 		if p.Name == name {
 			return p, nil
 		}

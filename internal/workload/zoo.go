@@ -1,0 +1,441 @@
+// The workload zoo: application-class and adversarial generators beyond
+// the SPEC CPU2006 proxies. Zuo et al.'s SecPM motivates evaluating
+// secure-NVM designs on write-pattern-sensitive application workloads
+// (KV stores, logs); Yao & Venkataramani's persistence-based attacks
+// motivate adversarial streams that deliberately maximize persist-buffer
+// occupancy, BMT blast radius, and battery drain. Each zoo pattern is a
+// deterministic seeded state machine inside Generator, so zoo streams
+// record, replay, and memoize exactly like the SPEC proxies.
+package workload
+
+import (
+	"secpb/internal/addr"
+	"secpb/internal/trace"
+	"secpb/internal/xrand"
+)
+
+// walLogBase keeps the WAL's append-only log region disjoint from the
+// persistBase home region every pattern rewrites.
+const walLogBase = persistBase + 0x0800_0000
+
+// zooState carries the per-pattern machinery the SPEC-proxy burst
+// fields do not cover.
+type zooState struct {
+	seq uint64 // monotone store payload (sequence number)
+
+	// KV / Tenants / WAL write-episode state.
+	burstLeft  int        // stores remaining in the current episode
+	curBlock   addr.Block // block the episode writes
+	wordIdx    int        // next word within the block
+	logEpisode bool       // WAL: current episode appends to the log
+
+	tenantZipf *xrand.Zipf // Tenants: skewed tenant chooser
+	tenant     int         // Tenants: tenant of the current burst
+
+	walCursor    uint64 // WAL: next log word (wraps over the log region)
+	walRecords   int    // WAL: records appended since the last checkpoint
+	fencePending bool   // WAL: emit a sealing fence before anything else
+
+	gcPtr   uint64 // GC: pointer-chase hash cursor
+	gcSweep uint64 // GC: forward sweep block cursor
+
+	advNext   uint64 // adversarial: next block/page ordinal
+	trainLeft int    // adversarial: zero-gap stores left in the train
+}
+
+// ZooProfiles returns the zoo in a stable order: application classes
+// first, adversarial generators last. StoresPerKilo is the PPTI target
+// each generator is calibrated against (the zoo calibration test pins
+// empirical PPTI and NWPE bands).
+func ZooProfiles() []Profile {
+	return []Profile{
+		// Read-mostly KV store: skewed gets over the key population with
+		// whole-record puts and occasional tombstone deletes.
+		{Name: "kvstore", StoresPerKilo: 40, LoadsPerKilo: 120, Burst: 4, Pattern: KV, WriteWorkingSet: 4096, ZipfSkew: 0.9, ReadWorkingSet: 4096, ReadRecentFrac: 0.3, NonMemCPI: 0.5, DeleteFrac: 0.1},
+		// Write-heavy KV store: hotter keys, longer records, few deletes.
+		{Name: "kvheavy", StoresPerKilo: 90, LoadsPerKilo: 60, Burst: 6, Pattern: KV, WriteWorkingSet: 1024, ZipfSkew: 1.1, ReadWorkingSet: 1024, ReadRecentFrac: 0.4, NonMemCPI: 0.45, DeleteFrac: 0.05},
+		// Write-ahead log: fence-sealed sequential appends, periodic
+		// checkpoint rewrites of a skewed home region.
+		{Name: "wal", StoresPerKilo: 70, LoadsPerKilo: 50, Burst: 8, Pattern: WAL, WriteWorkingSet: 2048, ZipfSkew: 0.8, ReadWorkingSet: 8192, ReadRecentFrac: 0.3, NonMemCPI: 0.4, CheckpointEvery: 32},
+		// Mark/sweep GC: pointer-chasing loads dominate; the sweep is a
+		// forward scan of single-word stores, so NWPE pins near 1.
+		{Name: "gcmark", StoresPerKilo: 12, LoadsPerKilo: 150, Burst: 1, Pattern: GC, WriteWorkingSet: 8192, ReadWorkingSet: 16384, ReadRecentFrac: 0.05, NonMemCPI: 0.7},
+		// Multi-tenant blend: eight zipf tenants over disjoint regions,
+		// tenant selection itself skewed.
+		{Name: "tenantmix", StoresPerKilo: 35, LoadsPerKilo: 100, Burst: 6, Pattern: Tenants, WriteWorkingSet: 512, ZipfSkew: 0.95, ReadWorkingSet: 1024, ReadRecentFrac: 0.25, NonMemCPI: 0.5, Tenants: 8},
+		// Occupancy maximizer: one store per distinct block, zero-gap
+		// trains — every persist allocates a fresh SecPB entry and the
+		// buffer pins at capacity.
+		{Name: "adv-occupancy", StoresPerKilo: 220, LoadsPerKilo: 30, Burst: 1, Pattern: AdvOccupancy, WriteWorkingSet: 4096, ReadWorkingSet: 4096, NonMemCPI: 0.3},
+		// BMT blast-radius walker: one store per page, so every persist
+		// dirties a distinct counter line and BMT leaf.
+		{Name: "adv-bmtblast", StoresPerKilo: 120, LoadsPerKilo: 40, Burst: 1, Pattern: AdvBMTBlast, WriteWorkingSet: 1 << 16, ReadWorkingSet: 8192, NonMemCPI: 0.35},
+		// Battery-drain pessimizer: maximum persist rate, page-stride,
+		// long zero-gap trains — the worst case a battery must be sized
+		// for (harness.StressBattery runs this profile).
+		{Name: "adv-battery", StoresPerKilo: 250, LoadsPerKilo: 10, Burst: 1, Pattern: AdvBattery, WriteWorkingSet: 1 << 17, ReadWorkingSet: 4096, NonMemCPI: 0.3},
+	}
+}
+
+// ZooNames returns the zoo benchmark names in order.
+func ZooNames() []string {
+	ps := ZooProfiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// initZoo wires the zoo state machine for a zoo-pattern profile.
+func (g *Generator) initZoo() {
+	g.z = &zooState{}
+	switch g.p.Pattern {
+	case KV:
+		g.zipf = xrand.NewZipf(g.r, g.p.WriteWorkingSet, g.p.ZipfSkew)
+	case WAL:
+		g.zipf = xrand.NewZipf(g.r, g.p.WriteWorkingSet, g.p.ZipfSkew)
+	case Tenants:
+		g.zipf = xrand.NewZipf(g.r, g.p.WriteWorkingSet, g.p.ZipfSkew)
+		g.z.tenantZipf = xrand.NewZipf(g.r, g.p.Tenants, g.p.ZipfSkew)
+	case GC:
+		g.z.gcPtr = g.r.Uint64()
+	}
+}
+
+// zooNext dispatches one op from the pattern's state machine.
+func (g *Generator) zooNext() trace.Op {
+	switch g.p.Pattern {
+	case KV:
+		return g.kvNext()
+	case WAL:
+		return g.walNext()
+	case GC:
+		return g.gcNext()
+	case Tenants:
+		return g.tenantsNext()
+	default:
+		return g.advNext()
+	}
+}
+
+// storeFrac is the target store fraction of the memory-op stream.
+func (g *Generator) storeFrac() float64 {
+	return g.p.StoresPerKilo / (g.p.StoresPerKilo + g.p.LoadsPerKilo)
+}
+
+// episodeProb returns the probability of starting a write episode when
+// none is active, given the episode's mean store count — the same
+// renewal argument as burstStartProb.
+func (g *Generator) episodeProb(meanStores float64) float64 {
+	f := g.storeFrac()
+	return f / (meanStores*(1-f) + f)
+}
+
+// zooGap draws one instruction gap like gapFor, but round-to-nearest:
+// the SPEC proxies' truncating draw under-shoots the mean by half an
+// instruction, which is invisible at their rates but pushes the
+// high-rate adversarial streams ~15% over their PPTI targets.
+func (g *Generator) zooGap() uint32 {
+	perKilo := g.p.StoresPerKilo + g.p.LoadsPerKilo
+	mean := 1000/perKilo - 1
+	if mean < 0 {
+		mean = 0
+	}
+	lo := 0.5 * mean
+	return uint32(lo + g.r.Float64()*mean + 0.5)
+}
+
+// episodeGap draws the clustered instruction gap for an n-store episode:
+// the whole budget lands before the first store and the rest issue
+// back-to-back, like the SPEC-proxy burst machinery.
+func (g *Generator) episodeGap(n int) uint32 {
+	var gap uint32
+	for i := 0; i < n; i++ {
+		gap += g.zooGap()
+	}
+	return gap
+}
+
+// seqData returns the next monotone store payload. Sequence numbers are
+// what real KV/WAL records carry, and they delta-compress to one byte
+// per store in SPB2.
+func (g *Generator) seqData() uint64 {
+	g.z.seq++
+	return g.z.seq
+}
+
+// noteWritten records a block in the recent ring for load-after-store
+// locality.
+func (g *Generator) noteWritten(b addr.Block) {
+	g.recent[g.recentPos] = b
+	g.recentPos = (g.recentPos + 1) % len(g.recent)
+}
+
+// kvNext: zipf-keyed puts (whole-record bursts), tombstone deletes, and
+// gets against the same key population.
+func (g *Generator) kvNext() trace.Op {
+	z := g.z
+	if z.burstLeft > 0 {
+		z.burstLeft--
+		op := trace.Op{
+			Kind: trace.Store,
+			Addr: z.curBlock.Addr() + uint64(z.wordIdx)*8,
+			Size: 8,
+			Data: g.seqData(),
+		}
+		z.wordIdx++
+		return op
+	}
+	meanStores := g.p.DeleteFrac + (1-g.p.DeleteFrac)*float64(g.p.Burst)
+	if g.r.Bool(g.episodeProb(meanStores)) {
+		key := uint64(g.zipf.Next())
+		block := addr.BlockOf(persistBase + key*addr.BlockBytes)
+		g.noteWritten(block)
+		if g.r.Bool(g.p.DeleteFrac) {
+			// Tombstone: a single marker word over the record head.
+			return trace.Op{
+				Kind: trace.Store,
+				Addr: block.Addr(),
+				Size: 8,
+				Data: g.seqData(),
+				Gap:  g.episodeGap(1),
+			}
+		}
+		// Put: fill the record from word 0 upward.
+		n := 1 + g.r.Intn(2*g.p.Burst-1)
+		if n > 8 {
+			n = 8 // a record is at most one block here
+		}
+		z.curBlock, z.wordIdx, z.burstLeft = block, 1, n-1
+		return trace.Op{
+			Kind: trace.Store,
+			Addr: block.Addr(),
+			Size: 8,
+			Data: g.seqData(),
+			Gap:  g.episodeGap(n),
+		}
+	}
+	// Get: a recently written record or a zipf key.
+	var a uint64
+	if g.r.Bool(g.p.ReadRecentFrac) && g.recent[0] != 0 {
+		a = g.recent[g.r.Intn(len(g.recent))].Addr()
+	} else {
+		a = persistBase + uint64(g.zipf.Next())*addr.BlockBytes
+	}
+	return trace.Op{
+		Kind: trace.Load,
+		Addr: a + uint64(g.r.Intn(8))*8,
+		Size: 8,
+		Gap:  g.zooGap(),
+	}
+}
+
+// walNext: fence-sealed sequential record appends, periodic checkpoint
+// rewrites of the zipf home region, reads of the recent tail.
+func (g *Generator) walNext() trace.Op {
+	z := g.z
+	if z.fencePending {
+		z.fencePending = false
+		return trace.Op{Kind: trace.Fence}
+	}
+	if z.burstLeft > 0 {
+		z.burstLeft--
+		if z.burstLeft == 0 {
+			z.fencePending = true
+		}
+		if z.logEpisode {
+			return g.walLogStore(0)
+		}
+		// Checkpoint continues: rewrite another zipf home block.
+		home := addr.BlockOf(persistBase + uint64(g.zipf.Next())*addr.BlockBytes)
+		g.noteWritten(home)
+		return trace.Op{Kind: trace.Store, Addr: home.Addr(), Size: 8, Data: g.seqData()}
+	}
+	// The fence after each episode costs one instruction; fold it into
+	// the episode mean so the persist rate stays on target.
+	if g.r.Bool(g.episodeProb(float64(g.p.Burst))) {
+		n := 1 + g.r.Intn(2*g.p.Burst-1)
+		z.burstLeft = n - 1
+		if z.burstLeft == 0 {
+			z.fencePending = true
+		}
+		if z.walRecords >= g.p.CheckpointEvery {
+			// Checkpoint: rewrite n zipf home blocks, then fence.
+			z.walRecords = 0
+			z.logEpisode = false
+			home := addr.BlockOf(persistBase + uint64(g.zipf.Next())*addr.BlockBytes)
+			g.noteWritten(home)
+			return trace.Op{Kind: trace.Store, Addr: home.Addr(), Size: 8,
+				Data: g.seqData(), Gap: g.episodeGap(n)}
+		}
+		// Append one n-word record at the log cursor, then fence.
+		z.walRecords++
+		z.logEpisode = true
+		return g.walLogStore(g.episodeGap(n))
+	}
+	// Tail read: the just-written log blocks, or the home region.
+	var a uint64
+	if g.r.Bool(g.p.ReadRecentFrac) && g.recent[0] != 0 {
+		a = g.recent[g.r.Intn(len(g.recent))].Addr()
+	} else {
+		a = readBase + g.r.Uint64n(uint64(g.p.ReadWorkingSet))*addr.BlockBytes
+	}
+	return trace.Op{
+		Kind: trace.Load,
+		Addr: a + uint64(g.r.Intn(8))*8,
+		Size: 8,
+		Gap:  g.zooGap(),
+	}
+}
+
+// walLogStore appends one word at the log cursor, wrapping over the
+// log region (WriteWorkingSet blocks above walLogBase).
+func (g *Generator) walLogStore(gap uint32) trace.Op {
+	z := g.z
+	words := uint64(g.p.WriteWorkingSet) * 8
+	w := z.walCursor % words
+	z.walCursor++
+	if w%8 == 0 {
+		g.noteWritten(addr.BlockOf(walLogBase + (w/8)*addr.BlockBytes))
+	}
+	return trace.Op{
+		Kind: trace.Store,
+		Addr: walLogBase + w*8,
+		Size: 8,
+		Data: g.seqData(),
+		Gap:  gap,
+	}
+}
+
+// gcNext: pointer-chasing mark loads over the heap, with a forward
+// sweep of single-word stores (reuse distance = the whole working set,
+// so NWPE pins near 1).
+func (g *Generator) gcNext() trace.Op {
+	z := g.z
+	if g.r.Bool(g.storeFrac()) {
+		block := addr.BlockOf(persistBase + (z.gcSweep%uint64(g.p.WriteWorkingSet))*addr.BlockBytes)
+		z.gcSweep++
+		return trace.Op{
+			Kind: trace.Store,
+			Addr: block.Addr(),
+			Size: 8,
+			Data: g.seqData(),
+			Gap:  g.zooGap(),
+		}
+	}
+	// Chase: the next object's address is a hash of the current one —
+	// deterministic, unpredictable, zero spatial locality.
+	z.gcPtr ^= z.gcPtr << 13
+	z.gcPtr ^= z.gcPtr >> 7
+	z.gcPtr ^= z.gcPtr << 17
+	idx := z.gcPtr % uint64(g.p.ReadWorkingSet)
+	return trace.Op{
+		Kind: trace.Load,
+		Addr: readBase + idx*addr.BlockBytes + (z.gcPtr>>32%8)*8,
+		Size: 8,
+		Gap:  g.zooGap(),
+	}
+}
+
+// tenantsNext: pick a zipf tenant, then a zipf block inside the
+// tenant's disjoint region; bursts and loads follow the SPEC-proxy
+// shape within that region.
+func (g *Generator) tenantsNext() trace.Op {
+	z := g.z
+	if z.burstLeft > 0 {
+		z.burstLeft--
+		op := trace.Op{
+			Kind: trace.Store,
+			Addr: z.curBlock.Addr() + uint64(z.wordIdx%8)*8,
+			Size: 8,
+			Data: g.seqData(),
+		}
+		z.wordIdx++
+		return op
+	}
+	if g.r.Bool(g.episodeProb(float64(g.p.Burst))) {
+		z.tenant = z.tenantZipf.Next()
+		idx := uint64(z.tenant)*uint64(g.p.WriteWorkingSet) + uint64(g.zipf.Next())
+		block := addr.BlockOf(persistBase + idx*addr.BlockBytes)
+		g.noteWritten(block)
+		n := 1 + g.r.Intn(2*g.p.Burst-1)
+		z.curBlock, z.burstLeft = block, n-1
+		z.wordIdx = 1
+		return trace.Op{
+			Kind: trace.Store,
+			Addr: block.Addr(),
+			Size: 8,
+			Data: g.seqData(),
+			Gap:  g.episodeGap(n),
+		}
+	}
+	var a uint64
+	if g.r.Bool(g.p.ReadRecentFrac) && g.recent[0] != 0 {
+		a = g.recent[g.r.Intn(len(g.recent))].Addr()
+	} else {
+		// Reads stay tenant-partitioned too.
+		t := uint64(z.tenantZipf.Next())
+		a = readBase + (t*uint64(g.p.ReadWorkingSet)+
+			g.r.Uint64n(uint64(g.p.ReadWorkingSet)))*addr.BlockBytes
+	}
+	return trace.Op{
+		Kind: trace.Load,
+		Addr: a + uint64(g.r.Intn(8))*8,
+		Size: 8,
+		Gap:  g.zooGap(),
+	}
+}
+
+// advTrainLen is the zero-gap train length for the adversarial
+// patterns: occupancy and battery trains are long enough to fill any
+// plausible SecPB before the instruction-gap budget arrives.
+func (g *Generator) advTrainLen() int {
+	switch g.p.Pattern {
+	case AdvBattery:
+		return 32
+	case AdvOccupancy:
+		return 16
+	default:
+		return 1 // blast walker paces stores normally
+	}
+}
+
+// advNext drives the three adversarial patterns: single stores that
+// never coalesce (a fresh block — or page — per persist), issued in
+// zero-gap trains whose whole instruction budget arrives up front.
+func (g *Generator) advNext() trace.Op {
+	z := g.z
+	// A train in progress keeps priority (no coin): the renewal
+	// probability below already accounts for the train's store count.
+	if z.trainLeft > 0 || g.r.Bool(g.episodeProb(float64(g.advTrainLen()))) {
+		var stride uint64 = 1
+		if g.p.Pattern != AdvOccupancy {
+			stride = addr.BlocksPerPage // one store per page
+		}
+		idx := (z.advNext * stride) % uint64(g.p.WriteWorkingSet)
+		z.advNext++
+		var gap uint32
+		if z.trainLeft > 0 {
+			z.trainLeft--
+		} else {
+			n := g.advTrainLen()
+			z.trainLeft = n - 1
+			gap = g.episodeGap(n)
+		}
+		return trace.Op{
+			Kind: trace.Store,
+			Addr: persistBase + idx*addr.BlockBytes,
+			Size: 8,
+			Data: g.seqData(),
+			Gap:  gap,
+		}
+	}
+	idx := g.r.Uint64n(uint64(g.p.ReadWorkingSet))
+	return trace.Op{
+		Kind: trace.Load,
+		Addr: readBase + idx*addr.BlockBytes,
+		Size: 8,
+		Gap:  g.zooGap(),
+	}
+}

@@ -35,7 +35,7 @@ go test -run '^$' -bench . -benchtime 1x ./...
 # the paged table and the persist buffer must agree with their map
 # models, and every seeded corruption must be flagged, on every gate run.
 go test -run Fuzz ./internal/crypto/... ./internal/ptable/... \
-    ./internal/pb/... ./internal/recovery/...
+    ./internal/pb/... ./internal/recovery/... ./internal/trace/...
 
 # Parallel data plane: the subtree-parallel BMT sweep, the interleaved
 # MAC lanes, and the OTP-prefetch replay pipeline must produce results
@@ -151,3 +151,47 @@ go test -short -race -run 'TestFaultSweep|TestNested' ./internal/recovery/ ./int
 go build -o "$tmp/secpb-heal" ./cmd/secpb-heal
 "$tmp/secpb-heal" -schemes all -bench gcc -ops 1500 -faultrate 0.05 -budget 3 \
     -seed 42 -out "$tmp/heal-matrix.json"
+
+# SPB2 trace-format gate: gen -> convert -> dump must round-trip the
+# ops exactly between the flat SPB1 and segmented-columnar SPB2
+# encodings, and SPB2 must earn its keep (>=2x smaller) on a zoo trace.
+go build -o "$tmp/secpb-trace" ./cmd/secpb-trace
+"$tmp/secpb-trace" gen -bench kvheavy -ops 40000 -seed 13 -format spb1 -o "$tmp/kv.spb"
+"$tmp/secpb-trace" gen -bench kvheavy -ops 40000 -seed 13 -format spb2 -o "$tmp/kv.spb2"
+"$tmp/secpb-trace" convert -i "$tmp/kv.spb" -o "$tmp/kv_conv.spb2"
+if ! diff -q "$tmp/kv.spb2" "$tmp/kv_conv.spb2"; then
+    echo "ERROR: convert(spb1) differs from direct spb2 generation" >&2
+    exit 1
+fi
+"$tmp/secpb-trace" dump -i "$tmp/kv.spb" > "$tmp/kv1.txt"
+"$tmp/secpb-trace" dump -i "$tmp/kv.spb2" > "$tmp/kv2.txt"
+if ! diff -q "$tmp/kv1.txt" "$tmp/kv2.txt"; then
+    echo "ERROR: SPB1 and SPB2 dumps of the same trace differ" >&2
+    exit 1
+fi
+spb1_size=$(wc -c < "$tmp/kv.spb")
+spb2_size=$(wc -c < "$tmp/kv.spb2")
+if [ $((spb2_size * 2)) -gt "$spb1_size" ]; then
+    echo "ERROR: SPB2 ($spb2_size B) is not >=2x smaller than SPB1 ($spb1_size B)" >&2
+    exit 1
+fi
+echo "SPB2 round-trips exactly and is >=2x smaller than SPB1 ($spb1_size -> $spb2_size bytes)"
+
+# Zoo replay-identity gate: the zoo artifact must be byte-identical
+# between live generation and SPB2 replay of recorded traces, across
+# the parallelism and kernel knobs.
+"$tmp/secpb-bench" -exp zoo -ops 3000 -parallel 1 -memo=false \
+    > "$tmp/zoo_live.txt" 2>&1
+"$tmp/secpb-bench" -exp zoo -ops 3000 -record -tracedir "$tmp/traces" \
+    > "$tmp/zoo_recorded.txt" 2>&1
+"$tmp/secpb-bench" -exp zoo -ops 3000 -tracedir "$tmp/traces" -parallel 4 -kernels=false \
+    > "$tmp/zoo_replay.txt" 2>&1
+for f in "$tmp/zoo_recorded.txt" "$tmp/zoo_replay.txt"; do
+    # Strip the record-phase progress line before comparing.
+    grep -v '^recorded ' "$f" > "$f.clean"
+    if ! diff -q "$tmp/zoo_live.txt" "$f.clean"; then
+        echo "ERROR: zoo artifact differs between live generation and SPB2 replay ($f)" >&2
+        exit 1
+    fi
+done
+echo "zoo artifact identical: live generators vs recorded SPB2 replay"

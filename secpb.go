@@ -45,6 +45,11 @@ type Result = engine.Result
 // workload profiles.
 func Benchmarks() []string { return workload.Names() }
 
+// ZooBenchmarks lists the workload-zoo profile names (application-class
+// and adversarial generators beyond the SPEC proxies); all of them are
+// accepted by RunBenchmark.
+func ZooBenchmarks() []string { return workload.ZooNames() }
+
 // RunBenchmark simulates ops memory operations of the named benchmark
 // profile under cfg. Runs are deterministic in (benchmark, cfg.Seed).
 func RunBenchmark(cfg Config, benchmark string, ops uint64) (Result, error) {

@@ -256,3 +256,37 @@ func TestMachineTriage(t *testing.T) {
 		t.Errorf("undamaged block unreadable after triage: %v", err)
 	}
 }
+
+func TestMachineStressBattery(t *testing.T) {
+	m, err := NewMachine(DefaultConfig(), []byte("api test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.StressBattery(8000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Saturated || rep.PeakPending != rep.Capacity {
+		t.Errorf("pessimizer did not saturate the SecPB: peak %d of %d", rep.PeakPending, rep.Capacity)
+	}
+	if rep.BackpressureCycles == 0 {
+		t.Error("no backpressure under the battery-drain pessimizer")
+	}
+	if rep.WorstDrainJ <= 0 || rep.WorstDrainJ > rep.ProvisionedJ {
+		t.Errorf("worst-case drain %.2e J outside (0, provisioned %.2e J]", rep.WorstDrainJ, rep.ProvisionedJ)
+	}
+	// Saturated means the attack demand reaches the provisioned bound.
+	if rep.WorstDrainJ != rep.ProvisionedJ {
+		t.Errorf("saturated attack demand %.2e J != provisioned %.2e J", rep.WorstDrainJ, rep.ProvisionedJ)
+	}
+	// The machine survives the attack: it still serves stores and loads.
+	if err := m.Store(0x2000, 8, 1); err != nil {
+		t.Errorf("machine unusable after stress: %v", err)
+	}
+	if len(ZooBenchmarks()) == 0 {
+		t.Error("zoo benchmark list empty")
+	}
+	if _, err := RunBenchmark(DefaultConfig(), "adv-battery", 2000); err != nil {
+		t.Errorf("RunBenchmark rejects zoo workload: %v", err)
+	}
+}
