@@ -1,8 +1,10 @@
 // Command secpb-trace works with memory-operation traces: generate a
 // synthetic benchmark trace, convert between the flat SPB1 and
 // segmented-columnar SPB2 encodings, dump a binary trace as text,
-// assemble text back into binary, report statistics, or apply the
-// relaxed-consistency reordering transform.
+// assemble text back into binary, report statistics, apply the
+// relaxed-consistency reordering transform, split an SPB2 trace into
+// per-segment upload bodies for the streaming service, or run a trace
+// through the simulator and emit the canonical result JSON.
 //
 // gen, convert, dump, and stat stream batch-by-batch in constant
 // memory, so they handle traces far larger than RAM. Readers
@@ -17,6 +19,8 @@
 //	secpb-trace asm -i trace.txt -o trace.spb2
 //	secpb-trace stat -i gamess.spb2
 //	secpb-trace reorder -i trace.spb2 -o relaxed.spb2 -window 16
+//	secpb-trace split -i gamess.spb2 -d segs/            # seg-00000.spb2 ...
+//	secpb-trace run -i gamess.spb2 -scheme cobcm -bench gamess -o result.json
 package main
 
 import (
@@ -26,8 +30,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"secpb/internal/addr"
+	"secpb/internal/engine"
+	"secpb/internal/service"
 	"secpb/internal/trace"
 	"secpb/internal/workload"
 )
@@ -36,7 +43,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-const usage = "usage: secpb-trace gen|convert|dump|asm|stat|reorder [flags]"
+const usage = "usage: secpb-trace gen|convert|dump|asm|stat|reorder|split|run [flags]"
 
 // run is the testable entry point: it never calls os.Exit and writes
 // only to the given streams.
@@ -60,6 +67,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		err = cmdStat(args, stdout, stderr)
 	case "reorder":
 		err = cmdReorder(args, stdout, stderr)
+	case "split":
+		err = cmdSplit(args, stdout, stderr)
+	case "run":
+		err = cmdRun(args, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "secpb-trace: unknown subcommand %q\n%s\n", cmd, usage)
 		return 2
@@ -253,6 +264,18 @@ func cmdConvert(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		n++
+	}
+	if n == 0 {
+		// A zero-op input converts to a zero-op output — almost always a
+		// truncated capture or the wrong file. Refuse with the typed
+		// empty-trace error instead of silently writing a header-only
+		// stream (and remove the stub output, which would otherwise look
+		// like a successful conversion to the next tool in the pipeline).
+		closeOut(dst)
+		if *out != "" && *out != "-" {
+			os.Remove(*out)
+		}
+		return fmt.Errorf("%s: %w", *in, &trace.EmptyTraceError{Detail: "zero operations to convert"})
 	}
 	if err := w.Flush(); err != nil {
 		closeOut(dst)
@@ -449,6 +472,86 @@ func cmdReorder(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if err := w.Flush(); err != nil {
+		closeOut(dst)
+		return err
+	}
+	return closeOut(dst)
+}
+
+// cmdSplit explodes an SPB2 trace into one file per sealed segment,
+// each a complete standalone SPB2 stream (header + frame) — exactly
+// the upload bodies PUT /v1/sessions/{name}/segments/{n} expects, in
+// ordinal order.
+func cmdSplit(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("split", stderr)
+	in := fs.String("i", "-", "input SPB2 trace")
+	dir := fs.String("d", ".", "output directory for segment files")
+	prefix := fs.String("prefix", "seg", "segment file name prefix")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	src, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	header := trace.SPB2Header()
+	n, err := trace.ScanSegments(src, func(seg int, frame []byte) error {
+		path := filepath.Join(*dir, fmt.Sprintf("%s-%05d.spb2", *prefix, seg))
+		body := append(append([]byte{}, header...), frame...)
+		return os.WriteFile(path, body, 0o644)
+	})
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *in, err)
+	}
+	fmt.Fprintf(stderr, "split %d segments into %s\n", n, *dir)
+	return nil
+}
+
+// cmdRun replays a recorded trace through the full simulator and emits
+// the canonical result encoding — the same bytes GET
+// /v1/sessions/{name}/result returns for a streamed session of the
+// same trace, which is what makes the service smoke gate a byte-diff.
+func cmdRun(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("run", stderr)
+	in := fs.String("i", "-", "input binary trace (format auto-detected)")
+	out := fs.String("o", "-", "output result JSON")
+	scheme := fs.String("scheme", "cobcm", "protection scheme")
+	bench := fs.String("bench", "gcc", "workload profile the trace was generated from")
+	seed := fs.Uint64("seed", 1, "config seed (must match the session spec)")
+	entries := fs.Int("secpb", 0, "SecPB entries (0 = config default)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	spec := service.Spec{Name: "cli", Scheme: *scheme, Bench: *bench, Seed: *seed, Entries: *entries}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	cfg, prof, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	src, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	fsrc, err := trace.NewFileBatchSource(src)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *in, err)
+	}
+	res, err := engine.RunRecorded(cfg, prof, fsrc)
+	if err != nil {
+		return err
+	}
+	dst, err := createOut(*out, stdout)
+	if err != nil {
+		return err
+	}
+	if _, err := dst.Write(service.EncodeResult(res)); err != nil {
 		closeOut(dst)
 		return err
 	}

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"secpb/internal/trace"
 )
 
 // cli runs the command in-process and returns (exit code, stdout, stderr).
@@ -154,6 +156,102 @@ func TestDumpRejectsCorruptTrace(t *testing.T) {
 	}
 	if !strings.Contains(errs, "corrupt") {
 		t.Errorf("stderr does not name the corruption: %s", errs)
+	}
+}
+
+// A zero-op input (empty file, or header-only SPB2) must fail convert
+// with the typed empty-trace error — not silently emit a stub output
+// that the next tool in a pipeline would mistake for a real trace.
+func TestConvertRejectsEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.spb2")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	headerOnly := filepath.Join(dir, "header.spb2")
+	if err := os.WriteFile(headerOnly, trace.SPB2Header(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{empty, headerOnly} {
+		out := filepath.Join(dir, "out.spb2")
+		code, _, errs := cli(t, "convert", "-i", in, "-o", out)
+		if code == 0 {
+			t.Fatalf("convert %s: succeeded on a zero-op input", in)
+		}
+		if !strings.Contains(errs, "empty trace") {
+			t.Errorf("convert %s: stderr does not name the typed empty-trace error: %s", in, errs)
+		}
+		if _, err := os.Stat(out); !os.IsNotExist(err) {
+			t.Errorf("convert %s: left a stub output behind", in)
+		}
+	}
+}
+
+// split must produce one standalone SPB2 file per sealed segment, and
+// concatenating their frame portions must reproduce the original trace.
+func TestSplitProducesStandaloneSegments(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "t.spb2")
+	if code, _, errs := cli(t, "gen", "-bench", "gcc", "-ops", "1000", "-segops", "256", "-o", f); code != 0 {
+		t.Fatalf("gen: %s", errs)
+	}
+	segDir := filepath.Join(dir, "segs")
+	if code, _, errs := cli(t, "split", "-i", f, "-d", segDir); code != 0 {
+		t.Fatalf("split: exit %d: %s", code, errs)
+	}
+	names, err := filepath.Glob(filepath.Join(segDir, "seg-*.spb2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 4 { // 1000 ops at 256/segment
+		t.Fatalf("split produced %d files, want 4: %v", len(names), names)
+	}
+	// Each piece is a decodable stream on its own, and splicing the
+	// frames back onto one header reproduces the original bytes.
+	rebuilt := trace.SPB2Header()
+	for _, name := range names {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code, _, errs := cli(t, "stat", "-i", name); code != 0 {
+			t.Fatalf("stat %s: %s", name, errs)
+		}
+		rebuilt = append(rebuilt, raw[trace.SPB2HeaderLen:]...)
+	}
+	orig, err := os.ReadFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rebuilt, orig) {
+		t.Error("reassembled segments differ from the original trace")
+	}
+}
+
+// run over a recorded trace must emit exactly the canonical result
+// bytes the service produces for a streamed session of the same spec —
+// the byte-diff contract the ci smoke gate depends on.
+func TestRunEmitsCanonicalResult(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "t.spb2")
+	if code, _, errs := cli(t, "gen", "-bench", "gcc", "-ops", "2000", "-seed", "9", "-o", f); code != 0 {
+		t.Fatalf("gen: %s", errs)
+	}
+	code, out, errs := cli(t, "run", "-i", f, "-scheme", "cobcm", "-bench", "gcc", "-seed", "9")
+	if code != 0 {
+		t.Fatalf("run: exit %d: %s", code, errs)
+	}
+	if !strings.HasSuffix(out, "\n") || !strings.Contains(out, `"scheme"`) {
+		t.Fatalf("run output is not the canonical result encoding: %q", out)
+	}
+	// Deterministic: a second run is byte-identical.
+	_, out2, _ := cli(t, "run", "-i", f, "-scheme", "cobcm", "-bench", "gcc", "-seed", "9")
+	if out != out2 {
+		t.Error("run is not deterministic across invocations")
+	}
+	// And it must refuse a bad scheme with a clean error.
+	if code, _, _ := cli(t, "run", "-i", f, "-scheme", "no-such-scheme"); code == 0 {
+		t.Error("run accepted an unknown scheme")
 	}
 }
 

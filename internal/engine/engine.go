@@ -223,6 +223,20 @@ func (e *Engine) Step(op trace.Op) error {
 	return e.step(op)
 }
 
+// StepBatch executes one columnar batch of operations: validated once
+// up front, then replayed through the same specialized kernels RunBatch
+// uses. Callers that receive ops in externally-chosen chunks (the
+// trace-streaming service steps one uploaded segment at a time) get the
+// columnar fast path without committing to a whole-source Run; the
+// result trajectory is identical to the equivalent Step sequence at any
+// chunking, the same contract RunBatch's batching carries.
+func (e *Engine) StepBatch(b *trace.Batch) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	return e.replayBatch(b)
+}
+
 // step executes one already-validated operation (the batch replay path
 // validates whole batches up front).
 func (e *Engine) step(op trace.Op) error {

@@ -16,6 +16,11 @@ import (
 // leak into artifacts after the simulator changes underneath them.
 const ResultsVersion = "secpb-results-v1"
 
+// ExperimentKey is the fixed memory-encryption key every experiment
+// path uses (RunBenchmark, RunRecorded, and the streaming service), so
+// results from any of them are comparable byte for byte.
+var ExperimentKey = []byte("secpb-experiment-key")
+
 // Result summarizes one simulation run.
 type Result struct {
 	Benchmark string
@@ -106,7 +111,7 @@ func (r Result) String() string {
 // and returns the result. The workload stream is deterministic in
 // (profile, cfg.Seed).
 func RunBenchmark(cfg config.Config, prof workload.Profile, nops uint64) (Result, error) {
-	eng, err := New(cfg, prof, []byte("secpb-experiment-key"))
+	eng, err := New(cfg, prof, ExperimentKey)
 	if err != nil {
 		return Result{}, err
 	}
@@ -132,7 +137,7 @@ func RunBenchmark(cfg config.Config, prof workload.Profile, nops uint64) (Result
 // (trace.FileBatchSource's Err) fail the run rather than silently
 // truncating it.
 func RunRecorded(cfg config.Config, prof workload.Profile, src trace.Source) (Result, error) {
-	eng, err := New(cfg, prof, []byte("secpb-experiment-key"))
+	eng, err := New(cfg, prof, ExperimentKey)
 	if err != nil {
 		return Result{}, err
 	}

@@ -497,7 +497,7 @@ func (r MCResult) String() string {
 // under cfg and returns the aggregate result — the multi-core analogue
 // of RunBenchmark. Deterministic in (cfg, profile) at any worker count.
 func RunSystem(cfg config.Config, prof workload.Profile, nops uint64) (MCResult, error) {
-	sys, err := NewSystem(cfg, prof, []byte("secpb-experiment-key"), nops)
+	sys, err := NewSystem(cfg, prof, ExperimentKey, nops)
 	if err != nil {
 		return MCResult{}, err
 	}

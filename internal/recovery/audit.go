@@ -109,6 +109,40 @@ func AuditImage(mc *nvm.Controller) (AuditReport, error) {
 	return rep, nil
 }
 
+// AuditError is a full-image audit that found inconsistencies: the
+// settled PM image does not mutually verify (MAC or BMT failures). It
+// is typed so callers that gate on a clean image — the streaming
+// service refuses to serve a session result off an image that does not
+// audit clean — can distinguish an integrity finding from harness
+// failures.
+type AuditError struct {
+	Report AuditReport
+}
+
+func (e *AuditError) Error() string {
+	return "recovery: " + e.Report.String()
+}
+
+// AuditClean runs the full-image audit on a settled controller and
+// converts an unclean report into a typed *AuditError. Insecure
+// controllers (the BBB baseline) have nothing to audit and pass
+// trivially. The controller must be settled first — battery-backed
+// buffers drained, staged walks committed — since a mid-stream image
+// legitimately lacks the tuples still held in the SecPB.
+func AuditClean(mc *nvm.Controller) error {
+	if !mc.Secure() {
+		return nil
+	}
+	rep, err := AuditImage(mc)
+	if err != nil {
+		return err
+	}
+	if !rep.Clean() {
+		return &AuditError{Report: rep}
+	}
+	return nil
+}
+
 // sortedPMBlocks returns the persisted blocks in address order. The PM
 // image's paged table traverses in ascending address order already, so
 // this is a plain read.

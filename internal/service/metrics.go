@@ -1,0 +1,71 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"secpb/internal/stats"
+)
+
+// Counter names. Rendered on /metrics with a "secpb_" prefix.
+const (
+	mSessionsCreated     = "sessions_created_total"
+	mSessionsResumed     = "sessions_resumed_total"
+	mSessionsQuarantined = "sessions_quarantined_total"
+	mSessionsFinalized   = "sessions_finalized_total"
+	mSessionsFailed      = "sessions_failed_total"
+	mSessionsShed        = "sessions_shed_total"
+	mSegsAccepted        = "segments_accepted_total"
+	mSegsDuplicate       = "segments_duplicate_total"
+	mSegsRejCorrupt      = "segments_rejected_corrupt_total"
+	mSegsRejOrder        = "segments_rejected_out_of_order_total"
+	mSegsRejQueue        = "segments_rejected_queue_full_total"
+	mSegsRejOther        = "segments_rejected_other_total"
+	mOpsStreamed         = "ops_streamed_total"
+	mCheckpoints         = "checkpoints_total"
+	mCheckpointBytes     = "checkpoint_bytes_total"
+)
+
+// Metrics wraps the harness's stats.Set (not goroutine-safe on its
+// own) with a mutex so handler goroutines and session workers can
+// share one counter set — the /metrics endpoint reuses the existing
+// stats machinery rather than pulling in a metrics dependency.
+type Metrics struct {
+	mu  sync.Mutex
+	set *stats.Set
+}
+
+func newMetrics() *Metrics { return &Metrics{set: stats.NewSet()} }
+
+// Inc bumps the named counter by one.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Add bumps the named counter by delta.
+func (m *Metrics) Add(name string, delta uint64) {
+	m.mu.Lock()
+	m.set.Counter(name).Add(delta)
+	m.mu.Unlock()
+}
+
+// Get returns the named counter's value.
+func (m *Metrics) Get(name string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.set.Get(name)
+}
+
+// writeCounters renders every counter in sorted order as
+// Prometheus-style text exposition.
+func (m *Metrics) writeCounters(w io.Writer) {
+	m.mu.Lock()
+	names := m.set.Names()
+	vals := make([]uint64, len(names))
+	for i, n := range names {
+		vals[i] = m.set.Get(n)
+	}
+	m.mu.Unlock()
+	for i, n := range names {
+		fmt.Fprintf(w, "# TYPE secpb_%s counter\nsecpb_%s %d\n", n, n, vals[i])
+	}
+}

@@ -76,6 +76,21 @@ func (e *CorruptTraceError) Error() string {
 	return fmt.Sprintf("trace: corrupt SPB2 segment %d: %s", e.Seg, e.Detail)
 }
 
+// EmptyTraceError reports a stream that is structurally valid (or
+// entirely absent) but carries no operations: a zero-byte file, or an
+// SPB2 header followed by zero segments. It is typed so tooling and the
+// streaming service can distinguish "there is nothing here" from both
+// I/O failures and corruption — converting or uploading an empty trace
+// is almost always a caller bug, never something to silently succeed
+// on.
+type EmptyTraceError struct {
+	Detail string
+}
+
+func (e *EmptyTraceError) Error() string {
+	return fmt.Sprintf("trace: empty trace: %s", e.Detail)
+}
+
 func zigzag64(d int64) uint64   { return uint64(d<<1) ^ uint64(d>>63) }
 func unzigzag64(z uint64) int64 { return int64(z>>1) ^ -int64(z&1) }
 
@@ -352,7 +367,10 @@ func (sr *SegReader) header() error {
 		return nil
 	}
 	var hdr [5]byte
-	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+	if n, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		if n == 0 {
+			return &EmptyTraceError{Detail: "no bytes (not even a magic)"}
+		}
 		return &CorruptTraceError{Seg: -1, Detail: fmt.Sprintf("short header: %v", err)}
 	}
 	if [4]byte(hdr[:4]) != magic2 {
@@ -619,6 +637,87 @@ func (sr *SegReader) ReadAll() ([]Op, error) {
 	}
 }
 
+// SPB2HeaderLen is the size of the file header (magic + version byte)
+// that precedes the first sealed segment frame.
+const SPB2HeaderLen = 5
+
+// SPB2Header returns the 5-byte file header a valid SPB2 stream opens
+// with. Appending sealed frames from ScanSegments after it yields a
+// valid stream again — the framing contract the trace-streaming
+// service's session log relies on.
+func SPB2Header() []byte {
+	return append(append([]byte(nil), magic2[:]...), SPB2Version)
+}
+
+// ScanSegments iterates the raw sealed segment frames of an SPB2
+// stream without decoding the columns. fn receives each segment's
+// ordinal and its complete frame — length varint, payload, FNV-64a
+// seal — exactly as stored, so frames can be spliced byte-identically
+// into another SPB2 stream (split a trace into per-segment upload
+// bodies, or append accepted segments to a session log). Each frame's
+// seal is verified before fn sees it; any structural damage, including
+// trailing garbage after the last frame, surfaces as a
+// *CorruptTraceError. The frame slice is reused between calls: copy it
+// if it must outlive fn. Returns the number of segments scanned.
+func ScanSegments(r io.Reader, fn func(seg int, frame []byte) error) (int, error) {
+	br := bufio.NewReader(r)
+	var hdr [SPB2HeaderLen]byte
+	if n, err := io.ReadFull(br, hdr[:]); err != nil {
+		if n == 0 {
+			return 0, &EmptyTraceError{Detail: "no bytes (not even a magic)"}
+		}
+		return 0, &CorruptTraceError{Seg: -1, Detail: fmt.Sprintf("short header: %v", err)}
+	}
+	if [4]byte(hdr[:4]) != magic2 {
+		return 0, &CorruptTraceError{Seg: -1, Detail: "bad magic (not an SPB2 trace)"}
+	}
+	if hdr[4] != SPB2Version {
+		return 0, &CorruptTraceError{Seg: -1,
+			Detail: fmt.Sprintf("version stamp %d, this reader handles %d", hdr[4], SPB2Version)}
+	}
+	var frame []byte
+	for seg := 0; ; seg++ {
+		frame = frame[:0]
+		// Length varint, byte at a time so the raw bytes are retained.
+		var plen uint64
+		for shift := uint(0); ; shift += 7 {
+			b, err := br.ReadByte()
+			if err != nil {
+				if err == io.EOF && shift == 0 {
+					return seg, nil // clean end of stream
+				}
+				return seg, &CorruptTraceError{Seg: seg, Detail: fmt.Sprintf("truncated segment length: %v", err)}
+			}
+			frame = append(frame, b)
+			if shift >= 64 {
+				return seg, &CorruptTraceError{Seg: seg, Detail: "segment length varint overflows"}
+			}
+			plen |= uint64(b&0x7f) << shift
+			if b < 0x80 {
+				break
+			}
+		}
+		if plen > maxSegPayload {
+			return seg, &CorruptTraceError{Seg: seg, Detail: fmt.Sprintf("payload length %d exceeds cap %d", plen, maxSegPayload)}
+		}
+		off := len(frame)
+		frame = append(frame, make([]byte, plen+8)...)
+		if _, err := io.ReadFull(br, frame[off:]); err != nil {
+			return seg, &CorruptTraceError{Seg: seg, Detail: fmt.Sprintf("truncated payload (%d bytes expected): %v", plen, err)}
+		}
+		h := fnv.New64a()
+		h.Write(frame[off : off+int(plen)])
+		if h.Sum64() != binary.LittleEndian.Uint64(frame[off+int(plen):]) {
+			return seg, &CorruptTraceError{Seg: seg, Detail: "checksum mismatch"}
+		}
+		if fn != nil {
+			if err := fn(seg, frame); err != nil {
+				return seg, err
+			}
+		}
+	}
+}
+
 // Format identifies an on-disk trace encoding.
 type Format int
 
@@ -656,6 +755,9 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	br := bufio.NewReader(r)
 	hdr, err := br.Peek(4)
 	if err != nil {
+		if len(hdr) == 0 {
+			return nil, &EmptyTraceError{Detail: "no bytes (not even a magic)"}
+		}
 		return nil, &CorruptTraceError{Seg: -1, Detail: fmt.Sprintf("short header: %v", err)}
 	}
 	switch {

@@ -87,6 +87,15 @@ func TestSegTruncation(t *testing.T) {
 			opsEqual(t, got, ops[:len(got)], "boundary prefix at "+itoa(cut))
 			continue
 		}
+		if cut == 0 {
+			// A zero-byte file is the typed empty-trace case, not
+			// structural damage.
+			var ee *EmptyTraceError
+			if !errors.As(err, &ee) {
+				t.Fatalf("cut 0: error type %T (%v), want *EmptyTraceError", err, err)
+			}
+			continue
+		}
 		requireCorrupt(t, err, "truncation at "+itoa(cut))
 	}
 }

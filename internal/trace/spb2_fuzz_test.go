@@ -102,8 +102,9 @@ func FuzzSegRoundTrip(f *testing.F) {
 }
 
 // FuzzSegReader: arbitrary bytes must never panic the decoder — every
-// outcome is a clean EOF, a typed *CorruptTraceError, or (for a stream
-// that happens to be valid) ops that re-encode round-trip.
+// outcome is a clean EOF, a typed *CorruptTraceError or
+// *EmptyTraceError, or (for a stream that happens to be valid) ops
+// that re-encode round-trip.
 func FuzzSegReader(f *testing.F) {
 	var seed bytes.Buffer
 	sw := NewSegWriter(&seed, 2)
@@ -131,7 +132,8 @@ func FuzzSegReader(f *testing.F) {
 			}
 			if err != nil {
 				var ce *CorruptTraceError
-				if !errors.As(err, &ce) {
+				var ee *EmptyTraceError
+				if !errors.As(err, &ce) && !errors.As(err, &ee) {
 					t.Fatalf("untyped decode error %T: %v", err, err)
 				}
 				return

@@ -52,7 +52,8 @@ go test -race \
 # serial run and a parallel memoized run — the cell memo and the worker
 # pool are pure replay optimizations and may never leak into output.
 tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
+serve_pid=""
+trap '[ -n "$serve_pid" ] && kill -9 "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
 go build -o "$tmp/secpb-bench" ./cmd/secpb-bench
 "$tmp/secpb-bench" -exp table4 -ops 5000 -parallel 1 -memo=false \
     > "$tmp/table4_serial.txt" 2>&1
@@ -195,3 +196,75 @@ for f in "$tmp/zoo_recorded.txt" "$tmp/zoo_replay.txt"; do
     fi
 done
 echo "zoo artifact identical: live generators vs recorded SPB2 replay"
+
+# Streaming-service smoke gate: stream a zoo trace into a live
+# secpb-serve, kill -9 the process mid-stream, restart it on the same
+# data directory, resume the session from its durable cursor (uploads
+# are idempotent, so replaying from segment 0 is also correct), and
+# require the finalized result to be byte-identical to a batch
+# `secpb-trace run` of the same trace.
+go build -o "$tmp/secpb-serve" ./cmd/secpb-serve
+"$tmp/secpb-trace" gen -bench kvstore -ops 4000 -seed 21 -segops 256 -o "$tmp/stream.spb2"
+"$tmp/secpb-trace" split -i "$tmp/stream.spb2" -d "$tmp/segs"
+"$tmp/secpb-trace" run -i "$tmp/stream.spb2" -scheme cobcm -bench kvstore -seed 21 \
+    -o "$tmp/golden.json"
+
+wait_for_addr() {
+    local file=$1 i
+    for i in $(seq 1 100); do
+        [ -s "$file" ] && return 0
+        sleep 0.1
+    done
+    echo "ERROR: secpb-serve did not write $file" >&2
+    return 1
+}
+
+"$tmp/secpb-serve" -addr 127.0.0.1:0 -data "$tmp/served" -addrfile "$tmp/addr1" \
+    2> "$tmp/serve1.log" &
+serve_pid=$!
+wait_for_addr "$tmp/addr1"
+addr=$(tr -d '\n' < "$tmp/addr1")
+curl -fsS -X POST "http://$addr/v1/sessions" \
+    -d '{"name":"smoke","scheme":"cobcm","bench":"kvstore","seed":21}' > /dev/null
+segs=("$tmp/segs"/seg-*.spb2)
+half=$(( ${#segs[@]} / 2 ))
+for i in $(seq 0 $((half - 1))); do
+    curl -fsS -X PUT --data-binary @"${segs[$i]}" \
+        "http://$addr/v1/sessions/smoke/segments/$i" > /dev/null
+done
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+
+"$tmp/secpb-serve" -addr 127.0.0.1:0 -data "$tmp/served" -addrfile "$tmp/addr2" \
+    2> "$tmp/serve2.log" &
+serve_pid=$!
+wait_for_addr "$tmp/addr2"
+addr=$(tr -d '\n' < "$tmp/addr2")
+durable=$(curl -fsS "http://$addr/v1/sessions/smoke" \
+    | sed -n 's/.*"durable_segs":\([0-9]*\).*/\1/p')
+echo "secpb-serve killed after $half uploads, resumed with $durable durable segments"
+for i in $(seq "$durable" $(( ${#segs[@]} - 1 ))); do
+    curl -fsS -X PUT --data-binary @"${segs[$i]}" \
+        "http://$addr/v1/sessions/smoke/segments/$i" > /dev/null
+done
+curl -fsS -X POST "http://$addr/v1/sessions/smoke/finalize" > /dev/null
+curl -fsS "http://$addr/v1/sessions/smoke/result" > "$tmp/streamed.json"
+curl -fsS "http://$addr/metrics" | grep -q '^secpb_segments_accepted_total' || {
+    echo "ERROR: /metrics is missing the ingest counters" >&2
+    exit 1
+}
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+if ! diff -q "$tmp/golden.json" "$tmp/streamed.json"; then
+    echo "ERROR: streamed session result differs from batch replay after kill -9" >&2
+    exit 1
+fi
+echo "streamed session byte-identical to batch replay across a kill -9 restart"
+
+# Service kill matrix: 50 sampled in-process kill points per scheme
+# across two schemes (>=100 total), each resumed and differentially
+# verified against the golden committed prefix, plus a
+# tampered-checkpoint negative control per cell.
+"$tmp/secpb-crash" -service -schemes sp,cobcm -bench gcc -ops 3200 -segops 64 \
+    -points 50 -seed 42 -out "$tmp/service-matrix.json"
